@@ -1,0 +1,183 @@
+// Benchmarks that regenerate the paper's evaluation artifacts, one per
+// figure family (see DESIGN.md's per-experiment index), plus micro-benches
+// of the core algorithms and substrates. Each figure benchmark executes the
+// corresponding internal/bench experiment at Quick scale; run
+// cmd/fastjoin-bench for full-scale tables.
+package fastjoin_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastjoin"
+	"fastjoin/internal/bench"
+	"fastjoin/internal/core"
+	"fastjoin/internal/stream"
+	"fastjoin/internal/window"
+	"fastjoin/internal/workload"
+	"fastjoin/internal/xhash"
+)
+
+// benchFigure runs one experiment at Quick scale b.N times.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	e := bench.Find(id)
+	if e == nil {
+		b.Fatalf("experiment %s not found", id)
+	}
+	p := bench.Params{Quick: true, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(p); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkFig1Workload(b *testing.B)   { benchFigure(b, "fig1ab") }
+func BenchmarkFig1Imbalance(b *testing.B)  { benchFigure(b, "fig1cd") }
+func BenchmarkFig3Throughput(b *testing.B) { benchFigure(b, "fig3") }
+func BenchmarkFig5Instances(b *testing.B)  { benchFigure(b, "fig5") }
+func BenchmarkFig7Scale(b *testing.B)      { benchFigure(b, "fig7") }
+func BenchmarkFig9Theta(b *testing.B)      { benchFigure(b, "fig9") }
+func BenchmarkFig12Skew(b *testing.B)      { benchFigure(b, "fig12") }
+func BenchmarkFig14Selector(b *testing.B)  { benchFigure(b, "fig14") }
+
+// Aliases for the figures produced by shared runs, so every figure has a
+// named bench target (kept cheap: fig4/6/8/10/11/13 reuse their sibling's
+// runner).
+func BenchmarkFig4Latency(b *testing.B)   { benchFigure(b, "fig4") }
+func BenchmarkFig6Instances(b *testing.B) { benchFigure(b, "fig6") }
+func BenchmarkFig8Scale(b *testing.B)     { benchFigure(b, "fig8") }
+func BenchmarkFig10Theta(b *testing.B)    { benchFigure(b, "fig10") }
+func BenchmarkFig11LI(b *testing.B)       { benchFigure(b, "fig11") }
+func BenchmarkFig13Skew(b *testing.B)     { benchFigure(b, "fig13") }
+
+// ----------------------------------------------------------------- micro
+
+// BenchmarkGreedyFit measures the key selection algorithm at the paper's
+// analyzed complexity point (K = 10k keys in an instance).
+func BenchmarkGreedyFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]core.KeyStat, 10000)
+	var stored, probe int64
+	for i := range keys {
+		keys[i] = core.KeyStat{
+			Key:    stream.Key(i),
+			Stored: int64(rng.Intn(100) + 1),
+			Probe:  int64(rng.Intn(50)),
+		}
+		stored += keys[i].Stored
+		probe += keys[i].Probe
+	}
+	in := core.SelectInput{
+		Source: core.InstanceLoad{Instance: 0, Stored: stored, Probe: probe},
+		Target: core.InstanceLoad{Instance: 1, Stored: stored / 10, Probe: probe / 10},
+		Keys:   keys,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GreedyFit(in)
+	}
+}
+
+// BenchmarkSAFit measures the simulated-annealing selector on the same
+// input shape.
+func BenchmarkSAFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]core.KeyStat, 1000)
+	var stored, probe int64
+	for i := range keys {
+		keys[i] = core.KeyStat{
+			Key:    stream.Key(i),
+			Stored: int64(rng.Intn(100) + 1),
+			Probe:  int64(rng.Intn(50)),
+		}
+		stored += keys[i].Stored
+		probe += keys[i].Probe
+	}
+	in := core.SelectInput{
+		Source: core.InstanceLoad{Instance: 0, Stored: stored, Probe: probe},
+		Target: core.InstanceLoad{Instance: 1, Stored: stored / 10, Probe: probe / 10},
+		Keys:   keys,
+	}
+	cfg := core.DefaultSAConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SAFit(in, cfg)
+	}
+}
+
+// BenchmarkZipfSample measures workload generation (inverse-CDF sampling).
+func BenchmarkZipfSample(b *testing.B) {
+	z := workload.NewZipf(1_000_000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample()
+	}
+}
+
+// BenchmarkWindowStore measures the store/probe path of a join instance.
+func BenchmarkWindowStore(b *testing.B) {
+	s := window.New()
+	for i := 0; i < 10000; i++ {
+		s.Add(stream.Tuple{Key: stream.Key(i % 100), Seq: uint64(i)})
+	}
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEachMatch(stream.Key(i%100), func(stream.Tuple) { count++ })
+	}
+	_ = count
+}
+
+// BenchmarkHashPartition measures the dispatcher's key-to-instance mapping.
+func BenchmarkHashPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		xhash.SeededPartition(uint64(i), 7, 48)
+	}
+}
+
+// BenchmarkEndToEndJoin measures whole-system throughput on a small finite
+// workload (count-only mode, no capacity emulation): tuples processed per
+// benchmark op.
+func BenchmarkEndToEndJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := fastjoin.NewZipfWorkload(fastjoin.ZipfOptions{
+			Keys:   1000,
+			ThetaR: 1,
+			ThetaS: 1,
+			Tuples: 20000,
+			Seed:   int64(i + 1),
+		})
+		sys, err := fastjoin.New(fastjoin.Options{
+			Kind:    fastjoin.KindBiStream,
+			Joiners: 4,
+			Sources: w.Sources,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.WaitComplete(time.Minute); err != nil {
+			sys.Stop()
+			b.Fatal(err)
+		}
+		sys.Stop()
+	}
+}
+
+// BenchmarkMigrationRoundTrip measures a full migrate-out/migrate-back key
+// cycle at the store level (extract + bulk insert).
+func BenchmarkMigrationRoundTrip(b *testing.B) {
+	src := window.New()
+	for i := 0; i < 5000; i++ {
+		src.Add(stream.Tuple{Key: 7, Seq: uint64(i)})
+	}
+	dst := window.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.AddBulk(src.RemoveKey(7))
+		src.AddBulk(dst.RemoveKey(7))
+	}
+}

@@ -1,0 +1,106 @@
+// fastjoin-gen generates evaluation workloads and prints their skew
+// statistics — the tool behind Fig. 1(a)/(b)'s key-distribution analysis.
+//
+// Usage:
+//
+//	fastjoin-gen -workload ridehailing -tuples 500000
+//	fastjoin-gen -workload zipf -theta 2.0 -keys 100000
+//	fastjoin-gen -workload adclicks -cdf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastjoin/internal/stream"
+	"fastjoin/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("workload", "ridehailing", "ridehailing | adclicks | zipf")
+		tuples = flag.Int("tuples", 200000, "tuples to sample per stream")
+		keys   = flag.Int("keys", 10000, "key universe size")
+		theta  = flag.Float64("theta", 1.0, "zipf exponent (zipf workload)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		cdf    = flag.Bool("cdf", false, "print the key-frequency CDF at deciles")
+		out    = flag.String("trace", "", "also write the sampled tuples as a CSV trace to this file")
+	)
+	flag.Parse()
+
+	var sources []namedSource
+	switch *kind {
+	case "ridehailing":
+		cfg := workload.DefaultRideHailingConfig()
+		side := 1
+		for side*side < *keys {
+			side++
+		}
+		cfg.GridWidth, cfg.GridHeight = side, side
+		cfg.Seed = *seed
+		rh := workload.NewRideHailing(cfg)
+		fmt.Printf("ride-hailing: %d cells, order θ=%.3f, track θ=%.3f\n",
+			rh.Cells, rh.OrderTheta, rh.TrackTheta)
+		sources = []namedSource{
+			{"orders(R)", rh.R.Next},
+			{"tracks(S)", rh.S.Next},
+		}
+	case "adclicks":
+		cfg := workload.DefaultAdClicksConfig()
+		cfg.Ads = *keys
+		cfg.Seed = *seed
+		ac := workload.NewAdClicks(cfg)
+		fmt.Printf("ad analytics: %d ads, query θ=%.2f, click θ=%.2f\n",
+			cfg.Ads, cfg.QueryTheta, cfg.ClickTheta)
+		sources = []namedSource{
+			{"queries(R)", ac.Queries.Next},
+			{"clicks(S)", ac.Clicks.Next},
+		}
+	case "zipf":
+		z := workload.NewSource(stream.R, workload.NewZipfShuffled(*keys, *theta, *seed), nil)
+		fmt.Printf("zipf: %d keys, θ=%.2f\n", *keys, *theta)
+		sources = []namedSource{{"stream", z.Next}}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+
+	var traced []stream.Tuple
+	for _, src := range sources {
+		d := workload.NewDistribution()
+		for i := 0; i < *tuples; i++ {
+			t := src.next()
+			d.Observe(t.Key)
+			if *out != "" {
+				t.Payload = nil // traces persist join-relevant fields only
+				traced = append(traced, t)
+			}
+		}
+		fmt.Printf("\n%s: %s\n", src.name, d)
+		if *cdf {
+			fmt.Println("  hottest-key-fraction -> mass-fraction:")
+			for _, pt := range d.CDF(11) {
+				fmt.Printf("    %5.1f%% -> %5.1f%%\n", pt.KeyFrac*100, pt.MassFrac*100)
+			}
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := workload.WriteTrace(f, traced); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d tuples to %s\n", len(traced), *out)
+	}
+}
+
+type namedSource struct {
+	name string
+	next func() stream.Tuple
+}

@@ -1,0 +1,93 @@
+// Quickstart: join two small in-memory streams with FastJoin and print
+// every result.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"fastjoin"
+)
+
+func main() {
+	// Build a toy workload: orders (stream R) and payments (stream S)
+	// joined on customer id. Customer 42 is disproportionately busy — the
+	// kind of skew FastJoin exists for.
+	type event struct {
+		side fastjoin.Side
+		key  fastjoin.Key
+	}
+	var events []event
+	for i := 0; i < 300; i++ {
+		key := fastjoin.Key(i % 10)
+		if i%3 != 0 {
+			key = 42 // the hot customer
+		}
+		events = append(events, event{fastjoin.R, key})
+		events = append(events, event{fastjoin.S, key})
+	}
+
+	var rSeq, sSeq uint64
+	i := 0
+	source := func() (fastjoin.Tuple, bool) {
+		if i >= len(events) {
+			return fastjoin.Tuple{}, false
+		}
+		e := events[i]
+		i++
+		t := fastjoin.Tuple{Side: e.side, Key: e.key}
+		if e.side == fastjoin.R {
+			t.Seq = rSeq
+			rSeq++
+			t.Payload = fmt.Sprintf("order-%d", t.Seq)
+		} else {
+			t.Seq = sSeq
+			sSeq++
+			t.Payload = fmt.Sprintf("payment-%d", t.Seq)
+		}
+		return t, true
+	}
+
+	// Collect results through the public callback.
+	var mu sync.Mutex
+	perKey := make(map[fastjoin.Key]int)
+
+	sys, err := fastjoin.New(fastjoin.Options{
+		Kind:    fastjoin.KindFastJoin,
+		Joiners: 4,
+		Sources: []fastjoin.TupleSource{source},
+		OnResult: func(p fastjoin.JoinedPair) {
+			mu.Lock()
+			perKey[p.Key()]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.WaitComplete(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	sys.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	keys := make([]fastjoin.Key, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	fmt.Println("joined pairs per customer:")
+	for _, k := range keys {
+		fmt.Printf("  customer %2d: %6d pairs\n", k, perKey[k])
+	}
+	fmt.Println()
+	fmt.Println(sys.Stats())
+}

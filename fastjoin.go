@@ -1,0 +1,318 @@
+// Package fastjoin is a skewness-aware distributed stream join system — a
+// from-scratch Go reproduction of "FastJoin: A Skewness-Aware Distributed
+// Stream Join System" (IPDPS 2019).
+//
+// FastJoin executes hash equi-joins over two unbounded tuple streams on a
+// group-parallel join-biclique topology (the BiStream model): one group of
+// join instances stores stream R and probes it with S tuples, the other
+// stores S and probes it with R tuples. Under key skew, hash partitioning
+// concentrates load on few instances; FastJoin detects the imbalance with a
+// per-instance load model (L_i = |R_i|·φ_si), selects the keys worth moving
+// with the GreedyFit algorithm, and migrates them between instances at
+// runtime without missing or duplicating a single join result.
+//
+// The package also provides the two BiStream baselines the paper compares
+// against (plain hash partitioning and the ContRand hybrid), a broadcast
+// baseline, window-based join semantics, and live metrics (throughput,
+// processing latency, degree of load imbalance).
+//
+// Quick start:
+//
+//	sys, err := fastjoin.New(fastjoin.Options{
+//		Kind:    fastjoin.KindFastJoin,
+//		Joiners: 8,
+//		Sources: []fastjoin.TupleSource{mySource},
+//	})
+//	...
+//	sys.RunFor(10 * time.Second)
+//	fmt.Println(sys.Stats())
+package fastjoin
+
+import (
+	"fmt"
+	"time"
+
+	"fastjoin/internal/biclique"
+	"fastjoin/internal/core"
+	"fastjoin/internal/engine"
+	"fastjoin/internal/metrics"
+	"fastjoin/internal/stream"
+)
+
+// Re-exported data-model types: these are the currency of the public API.
+type (
+	// Tuple is one element of an input stream.
+	Tuple = stream.Tuple
+	// Key is the join attribute.
+	Key = stream.Key
+	// Side identifies the stream a tuple belongs to (R or S).
+	Side = stream.Side
+	// JoinedPair is one join result.
+	JoinedPair = stream.JoinedPair
+	// Predicate optionally refines key-equality matches.
+	Predicate = stream.Predicate
+	// TupleSource produces the tuples of one ingestion task.
+	TupleSource = biclique.TupleSource
+	// Point is a timestamped metric sample.
+	Point = metrics.Point
+)
+
+// The two stream sides.
+const (
+	R = stream.R
+	S = stream.S
+)
+
+// Kind selects which of the paper's systems to run.
+type Kind uint8
+
+const (
+	// KindFastJoin is the paper's system: hash partitioning plus dynamic
+	// load balancing with the GreedyFit key selection algorithm.
+	KindFastJoin Kind = iota
+	// KindFastJoinSAFit is FastJoin with the simulated-annealing selector
+	// (the Fig. 14 ablation).
+	KindFastJoinSAFit
+	// KindBiStream is the BiStream baseline: static hash partitioning, no
+	// migration.
+	KindBiStream
+	// KindBiStreamContRand is BiStream with the ContRand hybrid routing.
+	KindBiStreamContRand
+	// KindBroadcast is the random-partitioning baseline: tuples stored
+	// anywhere, probes broadcast everywhere.
+	KindBroadcast
+)
+
+// String names the system as the paper's figures do.
+func (k Kind) String() string {
+	switch k {
+	case KindFastJoin:
+		return "FastJoin"
+	case KindFastJoinSAFit:
+		return "FastJoin-SAFit"
+	case KindBiStream:
+		return "BiStream"
+	case KindBiStreamContRand:
+		return "BiStream-ContRand"
+	case KindBroadcast:
+		return "Broadcast"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// AllKinds lists every runnable system, in the paper's comparison order.
+func AllKinds() []Kind {
+	return []Kind{KindFastJoin, KindFastJoinSAFit, KindBiStream, KindBiStreamContRand, KindBroadcast}
+}
+
+// Options configures a join system. Zero values get sensible defaults.
+type Options struct {
+	// Kind selects the system (default KindFastJoin).
+	Kind Kind
+	// Joiners is the number of join instances per biclique side
+	// (default 4; the paper's cluster default is 48).
+	Joiners int
+	// Dispatchers and Shufflers size the dispatching component.
+	Dispatchers int
+	Shufflers   int
+	// Theta is the load imbalance threshold Θ (default 2.2, the paper's).
+	Theta float64
+	// Cooldown is the minimum time between migrations (default 1s).
+	Cooldown time.Duration
+	// SustainTicks is how many consecutive monitor evaluations must see
+	// LI > Theta before a migration triggers (default 3); 1 disables the
+	// hysteresis.
+	SustainTicks int
+	// StatsInterval is the load-report/monitor period (default 100ms).
+	StatsInterval time.Duration
+	// MinBenefit is GreedyFit's θ_gap.
+	MinBenefit int64
+	// SubgroupSize is ContRand's subgroup size (default 2).
+	SubgroupSize int
+	// Window enables window-based join with the given span (0 = full
+	// history); SubWindows is the sub-window count (default 8).
+	Window     time.Duration
+	SubWindows int
+	// Predicate optionally refines key-equality matches.
+	Predicate Predicate
+	// PreProcess, when set, rewrites every tuple before dispatching (the
+	// pre-processing unit's user-defined function). Must be safe for
+	// concurrent use.
+	PreProcess func(Tuple) Tuple
+	// OnResult, when set, receives every joined pair (result emission
+	// mode). When nil the system only counts pairs — the high-throughput
+	// mode benchmarks use.
+	OnResult func(JoinedPair)
+	// Sources feed the system; one ingestion task per source. Required.
+	Sources []TupleSource
+	// QueueSize bounds each task's input queue (backpressure; default 1024).
+	QueueSize int
+	// ServiceRate, when positive, emulates per-node compute capacity:
+	// each join instance is limited to ServiceRate virtual ops/second
+	// (1 op per store, 1 + MatchCost per scanned tuple per probe). The
+	// benchmark harness uses it so cluster-scale behaviour reproduces on
+	// small hosts; 0 disables the emulation.
+	ServiceRate float64
+	// MatchCost is the virtual op cost per scanned stored tuple
+	// (default 0.01 when ServiceRate is set).
+	MatchCost float64
+	// Seed derandomizes placement.
+	Seed uint64
+}
+
+// System is a running stream join system.
+type System struct {
+	kind Kind
+	sys  *biclique.System
+}
+
+// New validates the options, builds the topology for the requested system
+// kind and starts it.
+func New(opts Options) (*System, error) {
+	cfg := biclique.Config{
+		JoinersPerSide: opts.Joiners,
+		Dispatchers:    opts.Dispatchers,
+		Shufflers:      opts.Shufflers,
+		SubgroupSize:   opts.SubgroupSize,
+		StatsInterval:  opts.StatsInterval,
+		Window:         opts.Window,
+		SubWindows:     opts.SubWindows,
+		Predicate:      opts.Predicate,
+		PreProcess:     opts.PreProcess,
+		Sources:        opts.Sources,
+		Seed:           opts.Seed,
+		Engine:         engine.Config{QueueSize: opts.QueueSize},
+		ServiceRate:    opts.ServiceRate,
+		MatchCost:      opts.MatchCost,
+	}
+	if cfg.JoinersPerSide == 0 {
+		cfg.JoinersPerSide = 4
+	}
+	if opts.OnResult != nil {
+		cfg.EmitResults = true
+		cfg.OnResult = opts.OnResult
+	}
+
+	policy := core.MonitorPolicy{
+		Theta:        opts.Theta,
+		Cooldown:     opts.Cooldown,
+		SustainTicks: opts.SustainTicks,
+	}
+	switch opts.Kind {
+	case KindFastJoin:
+		cfg.Strategy = biclique.StrategyHash
+		cfg.Migration = biclique.MigrationConfig{
+			Enabled:    true,
+			Policy:     policy,
+			Selector:   core.GreedyFit,
+			MinBenefit: opts.MinBenefit,
+		}
+	case KindFastJoinSAFit:
+		cfg.Strategy = biclique.StrategyHash
+		sa := core.DefaultSAConfig()
+		sa.Seed = int64(opts.Seed) + 1
+		cfg.Migration = biclique.MigrationConfig{
+			Enabled:    true,
+			Policy:     policy,
+			Selector:   core.SAFitSelector(sa),
+			MinBenefit: opts.MinBenefit,
+		}
+	case KindBiStream:
+		cfg.Strategy = biclique.StrategyHash
+	case KindBiStreamContRand:
+		cfg.Strategy = biclique.StrategyContRand
+	case KindBroadcast:
+		cfg.Strategy = biclique.StrategyRandom
+	default:
+		return nil, fmt.Errorf("fastjoin: unknown system kind %v", opts.Kind)
+	}
+
+	sys, err := biclique.Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{kind: opts.Kind, sys: sys}, nil
+}
+
+// Kind returns which system this is.
+func (s *System) Kind() Kind { return s.kind }
+
+// WaitComplete blocks until the (finite) sources are exhausted and all
+// in-flight work has settled.
+func (s *System) WaitComplete(timeout time.Duration) error {
+	return s.sys.WaitComplete(timeout)
+}
+
+// Drain stops ingestion and settles in-flight work.
+func (s *System) Drain(timeout time.Duration) error { return s.sys.Drain(timeout) }
+
+// Stop terminates the system immediately.
+func (s *System) Stop() { s.sys.Stop() }
+
+// RunFor lets the system process for d, then drains and stops it.
+func (s *System) RunFor(d time.Duration) error { return s.sys.RunFor(d) }
+
+// ThroughputTick returns results/second since the previous call.
+func (s *System) ThroughputTick() float64 { return s.sys.Metrics().Results.TickRate() }
+
+// Ingested returns the number of input tuples admitted so far.
+func (s *System) Ingested() int64 { return s.sys.Ingested() }
+
+// LISeries returns the recorded degree-of-load-imbalance samples of one
+// biclique side.
+func (s *System) LISeries(side Side) []Point { return s.sys.Metrics().LISeries(side) }
+
+// LoadSeries returns one instance's recorded load history.
+func (s *System) LoadSeries(side Side, instance int) []Point {
+	return s.sys.Metrics().LoadSeries(side, instance)
+}
+
+// MigrationEvent describes one completed key migration.
+type MigrationEvent = biclique.MigrationEvent
+
+// MigrationLog returns the completed migrations, oldest first.
+func (s *System) MigrationLog() []MigrationEvent {
+	return s.sys.Metrics().MigrationLog()
+}
+
+// Stats is a point-in-time summary of a system's activity.
+type Stats struct {
+	System         string  `json:"system"`
+	Results        int64   `json:"results"`
+	LatencySamples int64   `json:"latency_samples"`
+	LatencyMeanUs  float64 `json:"latency_mean_us"`
+	LatencyP95Us   float64 `json:"latency_p95_us"`
+	LatencyP99Us   float64 `json:"latency_p99_us"`
+	StoredR        int64   `json:"stored_r"`
+	StoredS        int64   `json:"stored_s"`
+	Migrations     int64   `json:"migrations"`
+	MigratedKeys   int64   `json:"migrated_keys"`
+	MigratedTuples int64   `json:"migrated_tuples"`
+}
+
+// String renders a one-line summary.
+func (st Stats) String() string {
+	return fmt.Sprintf("%s: results=%d lat(mean)=%.0fµs lat(p99)=%.0fµs stored=%d/%d migrations=%d (keys=%d tuples=%d)",
+		st.System, st.Results, st.LatencyMeanUs, st.LatencyP99Us,
+		st.StoredR, st.StoredS, st.Migrations, st.MigratedKeys, st.MigratedTuples)
+}
+
+// Stats snapshots the system's counters.
+func (s *System) Stats() Stats {
+	m := s.sys.Metrics()
+	lat := m.Latency.Snapshot()
+	return Stats{
+		System:         s.kind.String(),
+		Results:        m.Results.Count(),
+		LatencySamples: lat.Count,
+		LatencyMeanUs:  lat.Mean / 1e3,
+		LatencyP95Us:   float64(lat.P95) / 1e3,
+		LatencyP99Us:   float64(lat.P99) / 1e3,
+		StoredR:        m.StoredR.Value(),
+		StoredS:        m.StoredS.Value(),
+		Migrations:     m.Migrations.Value(),
+		MigratedKeys:   m.MigratedKeys.Value(),
+		MigratedTuples: m.MigratedTuples.Value(),
+	}
+}

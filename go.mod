@@ -1,0 +1,3 @@
+module fastjoin
+
+go 1.22

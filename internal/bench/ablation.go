@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fastjoin"
+)
+
+// Ablation is an extra (non-paper) experiment exercising FastJoin's design
+// choices one at a time on the default skewed workload: the monitor
+// hysteresis, the migration cooldown, and GreedyFit's θ_gap. It quantifies
+// how much each guard contributes beyond the paper's base algorithm.
+func Ablation() *Experiment {
+	return &Experiment{
+		ID:    "ablation",
+		Title: "FastJoin design-choice ablations (hysteresis, cooldown, θ_gap)",
+		Run: func(p Params) ([]*Report, error) {
+			p = p.withDefaults()
+			variants := []struct {
+				name   string
+				mutate func(*fastjoin.Options)
+			}{
+				{"default", func(*fastjoin.Options) {}},
+				{"no-hysteresis", func(o *fastjoin.Options) { o.SustainTicks = 1 }},
+				{"cooldown-100ms", func(o *fastjoin.Options) { o.Cooldown = 100 * time.Millisecond }},
+				{"cooldown-2s", func(o *fastjoin.Options) { o.Cooldown = 2 * time.Second }},
+				{"theta-gap-10k", func(o *fastjoin.Options) { o.MinBenefit = 10_000 }},
+				{"no-migration", func(o *fastjoin.Options) { o.Kind = fastjoin.KindBiStream }},
+			}
+			rep := &Report{
+				ID:      "ablation",
+				Title:   "FastJoin variants on the skewed ride-hailing workload (timed, saturated)",
+				XLabel:  "variant",
+				Columns: []string{"throughput", "latency_mean_us", "migrations", "steady_LI"},
+			}
+			for _, v := range variants {
+				opts := sysOptions(fastjoin.KindFastJoin, p, p.Joiners, rideHailingSources(p, 0))
+				opts.Window = timedWindow
+				v.mutate(&opts)
+				res, err := runTimed(opts.Kind, opts, p.Duration, p.SampleEvery)
+				if err != nil {
+					return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+				}
+				rep.AddRow(v.name,
+					res.MeanThroughput(),
+					res.MeanLatencyUs(),
+					float64(res.Migrations),
+					meanTail(res.LI, 0.5),
+				)
+			}
+			rep.AddNote("hysteresis and cooldown trade migration responsiveness against churn; θ_gap filters keys whose benefit does not pay for the move")
+			return []*Report{rep}, nil
+		},
+	}
+}

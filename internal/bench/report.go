@@ -1,0 +1,142 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Figs. 1 and 3-14): workload
+// construction, parameter sweeps, the system-vs-baseline comparisons, and
+// plain-text/CSV rendering of the resulting series.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one table of results: a labelled X column and one numeric
+// column per series (typically one per compared system).
+type Report struct {
+	// ID is the experiment that produced the report (e.g. "fig3").
+	ID string
+	// Title describes the report, referencing the paper figure.
+	Title string
+	// XLabel names the first column (time, #instances, Θ, ...).
+	XLabel string
+	// Columns names the value series.
+	Columns []string
+	// Rows holds the data.
+	Rows []Row
+	// Notes carries free-form observations (calibration values, shape
+	// checks) appended below the table.
+	Notes []string
+}
+
+// Row is one line of a report.
+type Row struct {
+	X     string
+	Cells []float64
+}
+
+// AddRow appends a data row.
+func (r *Report) AddRow(x string, cells ...float64) {
+	r.Rows = append(r.Rows, Row{X: x, Cells: cells})
+}
+
+// AddNote appends a formatted note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	headers := append([]string{r.XLabel}, r.Columns...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		line := make([]string, len(headers))
+		line[0] = row.X
+		for ci := range r.Columns {
+			if ci < len(row.Cells) {
+				line[ci+1] = formatCell(row.Cells[ci])
+			}
+		}
+		for i, c := range line {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+		cells[ri] = line
+	}
+	writeLine := func(line []string) error {
+		parts := make([]string, len(line))
+		for i, c := range line {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := writeLine(headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeLine(rule); err != nil {
+		return err
+	}
+	for _, line := range cells {
+		if err := writeLine(line); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "  * %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the report as comma-separated values.
+func (r *Report) CSV(w io.Writer) error {
+	headers := append([]string{r.XLabel}, r.Columns...)
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		parts := make([]string, 0, len(row.Cells)+1)
+		parts = append(parts, row.X)
+		for _, c := range row.Cells {
+			parts = append(parts, formatCell(c))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatCell renders a float compactly: integers without decimals, small
+// values with three significant decimals.
+func formatCell(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

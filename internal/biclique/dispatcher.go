@@ -1,0 +1,94 @@
+package biclique
+
+import (
+	"fastjoin/internal/engine"
+	"fastjoin/internal/routing"
+	"fastjoin/internal/stream"
+)
+
+// shufflerBolt is the pre-processing unit of the dispatching component
+// (§III-A): it stamps event time on tuples that lack one, applies the
+// user-defined pre-processing function if configured, and forwards the
+// tuples to the dispatcher.
+type shufflerBolt struct {
+	pre func(stream.Tuple) stream.Tuple
+}
+
+func newShufflerFactory(cfg *Config) engine.BoltFactory {
+	return func(int) engine.Bolt { return &shufflerBolt{pre: cfg.PreProcess} }
+}
+
+func (b *shufflerBolt) Prepare(engine.Context, *engine.Collector) {}
+
+func (b *shufflerBolt) Execute(m engine.Message, out *engine.Collector) {
+	if m.Stream == engine.TickStream {
+		return
+	}
+	t, ok := m.Value.(stream.Tuple)
+	if !ok {
+		return
+	}
+	if b.pre != nil {
+		t = b.pre(t)
+	}
+	if t.EventTime == 0 {
+		t.EventTime = stream.Now()
+	}
+	out.Emit(streamTuples, t)
+}
+
+func (b *shufflerBolt) Cleanup() {}
+
+// dispatcherBolt routes every tuple twice: a store copy to the owner
+// instance in the tuple's own side group and probe copies to the opposite
+// group per the strategy. It maintains the routing table that FastJoin's
+// migrations rewrite, acking every update back to the migration source.
+type dispatcherBolt struct {
+	cfg    *Config
+	router routing.Router
+	ctx    engine.Context
+	buf    []int // reusable probe-target buffer
+}
+
+func newDispatcherBolt(cfg *Config) engine.BoltFactory {
+	return func(task int) engine.Bolt {
+		return &dispatcherBolt{cfg: cfg, router: newRouter(cfg, task)}
+	}
+}
+
+func (b *dispatcherBolt) Prepare(ctx engine.Context, _ *engine.Collector) { b.ctx = ctx }
+
+func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
+	switch v := m.Value.(type) {
+	case stream.Tuple:
+		b.routeTuple(v, out)
+	case RouteUpdate:
+		b.router.ApplyUpdate(v.Side, v.Keys, v.NewOwner)
+		// The marker rides the data lane to the migration source, behind
+		// every tuple this task routed there before the update — the
+		// source uses it as proof that no stragglers remain.
+		out.EmitDirect(tupleStream(v.Side), v.Source, Marker{
+			Side:           v.Side,
+			DispatcherTask: b.ctx.Task,
+		})
+	}
+}
+
+// routeTuple sends the store copy and the probe copies.
+func (b *dispatcherBolt) routeTuple(t stream.Tuple, out *engine.Collector) {
+	now := stream.Now()
+	ownSide, oppSide := t.Side, t.Side.Opposite()
+
+	// Store in the tuple's own group.
+	storeAt := b.router.StoreTarget(ownSide, t.Key)
+	out.EmitDirect(tupleStream(ownSide), storeAt, TupleMsg{T: t, Op: OpStore, SentAt: now})
+
+	// Probe the opposite group: the tuple joins against the other stream's
+	// stored tuples, then is discarded there.
+	b.buf = b.router.ProbeTargets(oppSide, t.Key, b.buf[:0])
+	for _, target := range b.buf {
+		out.EmitDirect(tupleStream(oppSide), target, TupleMsg{T: t, Op: OpProbe, SentAt: now})
+	}
+}
+
+func (b *dispatcherBolt) Cleanup() {}

@@ -1,0 +1,401 @@
+package biclique
+
+import (
+	"time"
+
+	"fastjoin/internal/core"
+	"fastjoin/internal/engine"
+	"fastjoin/internal/metrics"
+	"fastjoin/internal/stream"
+	"fastjoin/internal/window"
+)
+
+// joinerBolt is one join instance. Instances in the R group (side == R)
+// store tuples of stream R and probe them with arriving S tuples, and vice
+// versa. A joiner also plays the two migration roles of Algorithm 2:
+//
+// As the *source* it runs the key selection, extracts and ships the stored
+// tuples, broadcasts the routing update, buffers tuples of the migrating
+// keys in a temporary queue, and flushes that queue to the target once it
+// has collected a data-lane Marker from every dispatcher task (the marker
+// arrives behind every tuple routed here before the update, so the flush
+// provably contains every straggler).
+//
+// As the *target* it installs the migrated batch, buffers directly-routed
+// tuples of the inbound keys until the source's flush arrives, then
+// replays flush + buffer in order — preserving per-key FIFO end to end,
+// which is what makes the join exactly-once across migrations.
+type joinerBolt struct {
+	cfg  *Config
+	side stream.Side
+	met  *SystemMetrics
+	ctx  engine.Context
+
+	store *window.Store
+
+	// Probe statistics: total arrivals since the last load report, an
+	// EWMA-smoothed probe pressure (φ_si ≈ arrivals + backlog, the paper's
+	// "queue length of the tuples from S"), and per-key arrivals for the
+	// current and previous intervals (φ_sik), which key selection consumes.
+	probesInterval int64
+	probeEWMA      float64
+	probeCur       map[stream.Key]int64
+	probePrev      map[stream.Key]int64
+
+	// Migration source state.
+	migrating     bool
+	migKeys       map[stream.Key]bool
+	migTarget     int
+	migMoved      int
+	migLI         float64
+	markersNeeded int
+	tempQueue     []TupleMsg
+
+	// Migration target state: keys whose batch arrived but whose flush is
+	// still pending, plus the buffered directly-routed tuples.
+	inboundKeys map[stream.Key]bool
+	inboundBuf  []TupleMsg
+
+	// Capacity emulation (Config.ServiceRate): virtual ops consumed and
+	// the wall-clock origin they are measured against.
+	ops      float64
+	opsSince time.Time
+}
+
+func newJoinerFactory(cfg *Config, side stream.Side, met *SystemMetrics) engine.BoltFactory {
+	return func(task int) engine.Bolt {
+		return &joinerBolt{cfg: cfg, side: side, met: met}
+	}
+}
+
+func (b *joinerBolt) Prepare(ctx engine.Context, _ *engine.Collector) {
+	b.ctx = ctx
+	if b.cfg.Window > 0 {
+		b.store = window.NewWindowed(b.cfg.Window.Nanoseconds(), b.cfg.SubWindows)
+	} else {
+		b.store = window.New()
+	}
+	b.probeCur = make(map[stream.Key]int64)
+	b.probePrev = make(map[stream.Key]int64)
+	b.opsSince = time.Now()
+}
+
+// probeBaseCost is the virtual op cost of the probe's hash lookup itself,
+// relative to a store's cost of 1.
+const probeBaseCost = 0.2
+
+// consume charges virtual ops against the instance's service budget and
+// sleeps off any surplus beyond a small burst allowance. Sleeping inside
+// Execute is what creates the queue growth and backpressure an overloaded
+// node would exhibit.
+func (b *joinerBolt) consume(cost float64) {
+	rate := b.cfg.ServiceRate
+	if rate <= 0 {
+		return
+	}
+	b.ops += cost
+	virtual := time.Duration(b.ops / rate * float64(time.Second))
+	ahead := virtual - time.Since(b.opsSince)
+	if ahead > 2*time.Millisecond {
+		time.Sleep(ahead)
+	}
+}
+
+func (b *joinerBolt) Execute(m engine.Message, out *engine.Collector) {
+	switch v := m.Value.(type) {
+	case TupleMsg:
+		b.handleTuple(v, out)
+	case Marker:
+		b.handleMarker(out)
+	case MigrateCmd:
+		b.startMigration(v, out)
+	case MigrateBatch:
+		b.installBatch(v)
+	case MigrateFlush:
+		b.handleFlush(v, out)
+	default:
+		if m.Stream == engine.TickStream {
+			b.onTick(out)
+		}
+	}
+}
+
+// handleTuple stores or probes one tuple, honoring the two migration
+// buffers.
+func (b *joinerBolt) handleTuple(tm TupleMsg, out *engine.Collector) {
+	key := tm.T.Key
+	if b.migrating && b.migKeys[key] {
+		// Algorithm 2's temporary queue: the key is leaving; hold the
+		// tuple until all dispatcher markers arrive.
+		b.tempQueue = append(b.tempQueue, tm)
+		return
+	}
+	if b.inboundKeys != nil && b.inboundKeys[key] {
+		// The key is arriving: its batch is installed but the source's
+		// flush (older tuples) has not landed yet; keep FIFO by waiting.
+		b.inboundBuf = append(b.inboundBuf, tm)
+		return
+	}
+	switch tm.Op {
+	case OpStore:
+		b.store.Add(tm.T)
+		b.storedGauge().Add(1)
+		b.consume(1)
+	case OpProbe:
+		b.probe(tm, out)
+	}
+}
+
+// probe joins one opposite-stream tuple against the store.
+func (b *joinerBolt) probe(tm TupleMsg, out *engine.Collector) {
+	key := tm.T.Key
+	b.probesInterval++
+	b.probeCur[key]++
+
+	pred := b.cfg.Predicate
+	matches := int64(0)
+	scanned := 0
+	b.store.ForEachMatch(key, func(stored stream.Tuple) {
+		scanned++
+		pair := b.makePair(stored, tm.T)
+		if pred != nil && !pred(pair.R, pair.S) {
+			return
+		}
+		matches++
+		if b.cfg.EmitResults {
+			out.Emit(streamResults, pair)
+		}
+	})
+	if !b.cfg.EmitResults && matches > 0 {
+		b.met.Results.Mark(matches)
+	}
+	// A probe that finds an empty bucket is just a hash lookup — far
+	// cheaper than a store's insert — so its base cost is fractional.
+	b.consume(probeBaseCost + b.cfg.MatchCost*float64(scanned))
+	b.met.Latency.Observe(stream.Now() - tm.SentAt)
+}
+
+// makePair orients (stored, probing) into (R, S).
+func (b *joinerBolt) makePair(stored, probing stream.Tuple) stream.JoinedPair {
+	p := stream.JoinedPair{
+		StoreSide: b.side,
+		Instance:  b.ctx.Task,
+		JoinedAt:  stream.Now(),
+	}
+	if b.side == stream.R {
+		p.R, p.S = stored, probing
+	} else {
+		p.R, p.S = probing, stored
+	}
+	return p
+}
+
+// startMigration is the source-side entry of Algorithm 2.
+func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
+	if b.migrating || cmd.Target.Instance == b.ctx.Task {
+		// Stale or self-targeted command: report an empty migration so the
+		// monitor re-arms.
+		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI)
+		return
+	}
+	input := core.SelectInput{
+		Source:     cmd.Source,
+		Target:     cmd.Target,
+		Keys:       b.keyStats(cmd.Source.Probe),
+		MinBenefit: b.cfg.Migration.MinBenefit,
+	}
+	selected := b.cfg.Migration.Selector(input)
+	if len(selected) == 0 {
+		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI)
+		return
+	}
+
+	// Extract the stored tuples of the selected keys (Algorithm 2 l. 3-8).
+	batch := MigrateBatch{Side: b.side, From: b.ctx.Task, Keys: selected}
+	for _, k := range selected {
+		batch.Tuples = append(batch.Tuples, b.store.RemoveKey(k)...)
+	}
+	b.storedGauge().Add(int64(-len(batch.Tuples)))
+
+	b.migrating = true
+	b.migTarget = cmd.Target.Instance
+	b.migMoved = len(batch.Tuples)
+	b.migLI = cmd.LI
+	b.migKeys = make(map[stream.Key]bool, len(selected))
+	for _, k := range selected {
+		b.migKeys[k] = true
+		// The keys no longer contribute to this instance's probe stats.
+		delete(b.probeCur, k)
+		delete(b.probePrev, k)
+	}
+
+	// Ship the tuples (l. 9-10), then ask every dispatcher task to reroute
+	// (l. 11-12); each will reply with a data-lane Marker.
+	out.EmitDirect(migStream(b.side), b.migTarget, batch)
+	out.Emit(streamRouteUpd, RouteUpdate{
+		Side:     b.side,
+		Keys:     selected,
+		NewOwner: b.migTarget,
+		Source:   b.ctx.Task,
+	})
+	b.markersNeeded = b.cfg.Dispatchers
+}
+
+// handleMarker counts dispatcher markers; the last one proves no further
+// tuples for the migrated keys can reach this instance, so the temporary
+// queue is flushed to the target and the migration completes (l. 13).
+func (b *joinerBolt) handleMarker(out *engine.Collector) {
+	if !b.migrating {
+		return
+	}
+	b.markersNeeded--
+	if b.markersNeeded > 0 {
+		return
+	}
+	// Always send the flush — even empty — because it is what releases the
+	// target's inbound buffer.
+	out.EmitDirect(migStream(b.side), b.migTarget, MigrateFlush{
+		Side:   b.side,
+		From:   b.ctx.Task,
+		Queued: b.tempQueue,
+	})
+	keys := len(b.migKeys)
+	target, moved := b.migTarget, b.migMoved
+	b.migrating = false
+	b.migKeys = nil
+	b.tempQueue = nil
+	b.migMoved = 0
+	b.reportDone(out, target, keys, moved, b.migLI)
+}
+
+// reportDone notifies the side's monitor that the migration completed.
+func (b *joinerBolt) reportDone(out *engine.Collector, target, keys, moved int, li float64) {
+	if keys > 0 {
+		b.met.Migrations.Inc()
+		b.met.MigratedKeys.Add(int64(keys))
+		b.met.MigratedTuples.Add(int64(moved))
+		b.met.RecordMigration(MigrationEvent{
+			At:     stream.Now(),
+			Side:   b.side,
+			Source: b.ctx.Task,
+			Target: target,
+			LI:     li,
+			Keys:   keys,
+			Moved:  moved,
+		})
+	}
+	out.Emit(doneStream(b.side), MigrationDone{
+		Side:   b.side,
+		Source: b.ctx.Task,
+		Target: target,
+		Keys:   keys,
+		Moved:  moved,
+	})
+}
+
+// installBatch is the target-side arrival: adopt the keys and hold any
+// directly-routed tuples until the source's flush lands.
+func (b *joinerBolt) installBatch(batch MigrateBatch) {
+	if b.inboundKeys == nil {
+		b.inboundKeys = make(map[stream.Key]bool, len(batch.Keys))
+	}
+	for _, k := range batch.Keys {
+		b.inboundKeys[k] = true
+	}
+	b.store.AddBulk(batch.Tuples)
+	b.storedGauge().Add(int64(len(batch.Tuples)))
+	// Installing migrated tuples is real work on the target node.
+	b.consume(float64(len(batch.Tuples)))
+}
+
+// handleFlush replays the source's temporary queue, then the tuples this
+// instance buffered while waiting — restoring the original per-key order.
+func (b *joinerBolt) handleFlush(flush MigrateFlush, out *engine.Collector) {
+	b.inboundKeys = nil
+	buffered := b.inboundBuf
+	b.inboundBuf = nil
+	for _, tm := range flush.Queued {
+		b.handleTuple(tm, out)
+	}
+	for _, tm := range buffered {
+		b.handleTuple(tm, out)
+	}
+}
+
+// onTick reports load to the monitor and advances the window.
+func (b *joinerBolt) onTick(out *engine.Collector) {
+	if b.store.Windowed() {
+		removed := b.store.Advance(stream.Now())
+		if removed > 0 {
+			b.storedGauge().Add(int64(-removed))
+		}
+	}
+	// φ = arrivals this interval plus the unprocessed backlog, smoothed so
+	// a single quiet interval under bursty dispatch does not read as zero
+	// load. Round up: any positive pressure counts as at least one.
+	raw := float64(b.probesInterval + int64(out.QueueLen()))
+	b.probeEWMA = 0.5*b.probeEWMA + 0.5*raw
+	probe := int64(b.probeEWMA)
+	if probe == 0 && b.probeEWMA > 0 {
+		probe = 1
+	}
+	out.Emit(loadStream(b.side), LoadReport{
+		Side: b.side,
+		Load: core.InstanceLoad{
+			Instance: b.ctx.Task,
+			Stored:   int64(b.store.Len()),
+			Probe:    probe,
+		},
+	})
+	b.probesInterval = 0
+	b.probePrev = b.probeCur
+	b.probeCur = make(map[stream.Key]int64)
+}
+
+// keyStats assembles the per-key statistics for key selection: stored
+// counts from the window store and probe counts from the last two
+// intervals, rescaled so that Σφ_sik matches the aggregate φ_si the
+// monitor's command is based on. Without the rescale, the knapsack's
+// per-key benefits and its capacity (L_i - L_j) would be on different
+// scales and GreedyFit would systematically over-select.
+func (b *joinerBolt) keyStats(aggregateProbe int64) []core.KeyStat {
+	probe := make(map[stream.Key]int64, len(b.probePrev)+len(b.probeCur))
+	var rawTotal int64
+	for k, c := range b.probePrev {
+		probe[k] += c
+		rawTotal += c
+	}
+	for k, c := range b.probeCur {
+		probe[k] += c
+		rawTotal += c
+	}
+	scale := 1.0
+	if rawTotal > 0 && aggregateProbe > 0 {
+		scale = float64(aggregateProbe) / float64(rawTotal)
+	}
+	// Truncate: a key whose scaled probe mass rounds to zero contributes
+	// no probe benefit. Flooring it up instead would inflate the benefit
+	// of hundreds of noise keys and starve the keys that actually carry
+	// load out of the knapsack.
+	scaled := func(c int64) int64 { return int64(float64(c) * scale) }
+	stats := make([]core.KeyStat, 0, b.store.Keys()+len(probe))
+	b.store.ForEachKey(func(k stream.Key, count int) {
+		stats = append(stats, core.KeyStat{Key: k, Stored: int64(count), Probe: scaled(probe[k])})
+		delete(probe, k)
+	})
+	for k, c := range probe {
+		// Probe-only keys: no stored tuples yet, but routing them away
+		// still moves probe load.
+		stats = append(stats, core.KeyStat{Key: k, Stored: 0, Probe: scaled(c)})
+	}
+	return stats
+}
+
+func (b *joinerBolt) storedGauge() *metrics.Gauge {
+	if b.side == stream.R {
+		return &b.met.StoredR
+	}
+	return &b.met.StoredS
+}
+
+func (b *joinerBolt) Cleanup() {}

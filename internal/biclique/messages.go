@@ -1,0 +1,114 @@
+// Package biclique implements the distributed stream join system of the
+// paper on top of the engine runtime: the join-biclique model of BiStream
+// (two groups of join instances, each storing one stream and probing it
+// with the other), the dispatcher with its routing table, the per-side
+// monitors, and FastJoin's dynamic key-migration protocol (§III-D,
+// Algorithm 2) with exactly-once join completeness.
+package biclique
+
+import (
+	"fastjoin/internal/core"
+	"fastjoin/internal/stream"
+)
+
+// Op says what a join instance should do with a tuple.
+type Op uint8
+
+const (
+	// OpStore adds the tuple to the instance's store (it belongs to the
+	// stream this instance group persists).
+	OpStore Op = iota
+	// OpProbe joins the tuple against the instance's store (it belongs to
+	// the opposite stream) and then discards it.
+	OpProbe
+)
+
+// String returns "store" or "probe".
+func (o Op) String() string {
+	if o == OpStore {
+		return "store"
+	}
+	return "probe"
+}
+
+// TupleMsg is a routed tuple: the dispatcher wraps every tuple with the
+// operation the receiving join instance must perform and the send
+// timestamp, from which the instance measures processing latency
+// (queueing + service), the paper's latency metric.
+type TupleMsg struct {
+	T      stream.Tuple
+	Op     Op
+	SentAt int64 // unix nanoseconds, stamped by the dispatcher
+}
+
+// LoadReport is the periodic statistic a join instance sends to its side's
+// monitor: |R_i| (stored tuples) and φ_si (probe arrivals in the reporting
+// interval plus queued probes).
+type LoadReport struct {
+	Side stream.Side
+	Load core.InstanceLoad
+}
+
+// MigrateCmd is the monitor's instruction to the heaviest instance: run the
+// key selection algorithm against the given target and migrate the selected
+// keys. It carries the target's aggregate load, which the selection needs
+// (§III-C).
+type MigrateCmd struct {
+	Side   stream.Side
+	Source core.InstanceLoad
+	Target core.InstanceLoad
+	LI     float64
+}
+
+// MigrateBatch carries the stored tuples of the selected keys from the
+// source instance to the target instance (Algorithm 2 line 10). Keys lists
+// every migrated key, including keys with no stored tuples (probe-only
+// keys whose routing moves without payload).
+type MigrateBatch struct {
+	Side   stream.Side
+	From   int
+	Keys   []stream.Key
+	Tuples []stream.Tuple
+}
+
+// MigrateFlush carries the tuples that arrived at the source for migrating
+// keys while the routing update was propagating (Algorithm 2's temporary
+// queue). It follows the MigrateBatch on the same FIFO control lane, so the
+// target always applies the batch first.
+type MigrateFlush struct {
+	Side   stream.Side
+	From   int
+	Queued []TupleMsg
+}
+
+// RouteUpdate tells every dispatcher task that the listed keys of one side
+// now live on instance NewOwner (Algorithm 2 line 12).
+type RouteUpdate struct {
+	Side     stream.Side
+	Keys     []stream.Key
+	NewOwner int
+	Source   int // instance that must receive the markers
+}
+
+// Marker is a dispatcher task's confirmation that it applied a RouteUpdate.
+// Unlike a plain ack it travels on the *data* lane to the source instance,
+// behind every tuple that task routed to the source before the update — so
+// when the source has collected markers from all dispatcher tasks, it has
+// provably seen (and buffered) every tuple of the migrated keys that will
+// ever reach it, and can flush its temporary queue with per-key FIFO order
+// intact. This refines the paper's Algorithm 2 notification handshake to
+// stay exactly-once under parallel dispatchers.
+type Marker struct {
+	Side           stream.Side
+	DispatcherTask int
+}
+
+// MigrationDone tells the monitor the migration finished, re-arming its
+// trigger. Moved reports how many stored tuples changed instance.
+type MigrationDone struct {
+	Side   stream.Side
+	Source int
+	Target int
+	Keys   int
+	Moved  int
+}

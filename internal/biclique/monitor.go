@@ -1,0 +1,132 @@
+package biclique
+
+import (
+	"math"
+	"time"
+
+	"fastjoin/internal/core"
+	"fastjoin/internal/engine"
+	"fastjoin/internal/stream"
+)
+
+// recordedLICap bounds the LI values recorded into the metrics series; the
+// exact (possibly infinite) ratio still drives the migration trigger.
+const recordedLICap = 1e4
+
+// monitorBolt is one side's monitoring component (§III-A): it collects the
+// periodic load reports of its join instance group in a load information
+// table, records the degree of load imbalance, and — when migration is
+// enabled and LI exceeds Θ — instructs the heaviest instance to migrate
+// keys to the lightest.
+//
+// Monitors always run (even for the BiStream baselines) because the
+// evaluation records LI for every system (Fig. 11); only the trigger is
+// gated on Migration.Enabled.
+type monitorBolt struct {
+	cfg  *Config
+	side stream.Side
+	met  *SystemMetrics
+
+	mon    *core.Monitor
+	latest map[int]core.InstanceLoad
+
+	triggeredAt time.Time
+}
+
+func newMonitorFactory(cfg *Config, side stream.Side, met *SystemMetrics) engine.BoltFactory {
+	return func(task int) engine.Bolt {
+		return &monitorBolt{
+			cfg:    cfg,
+			side:   side,
+			met:    met,
+			mon:    core.NewMonitor(cfg.Migration.Policy),
+			latest: make(map[int]core.InstanceLoad),
+		}
+	}
+}
+
+func (b *monitorBolt) Prepare(engine.Context, *engine.Collector) {}
+
+func (b *monitorBolt) Execute(m engine.Message, out *engine.Collector) {
+	switch v := m.Value.(type) {
+	case LoadReport:
+		b.latest[v.Load.Instance] = v.Load
+	case MigrationDone:
+		b.mon.MigrationDone()
+	default:
+		if m.Stream == engine.TickStream {
+			b.onTick(out)
+		}
+	}
+}
+
+// onTick evaluates the load information table.
+func (b *monitorBolt) onTick(out *engine.Collector) {
+	if len(b.latest) < b.cfg.JoinersPerSide {
+		return // not all instances have reported yet
+	}
+	loads := make([]core.InstanceLoad, 0, len(b.latest))
+	var total int64
+	for _, l := range b.latest {
+		loads = append(loads, l)
+		total += l.Load()
+	}
+	if total == 0 {
+		return // idle system; LI is degenerate
+	}
+	li, _, _ := core.Imbalance(loads)
+	// The recorded series is clipped so a momentarily idle instance
+	// (L_min = 0, LI = +Inf) stays renderable; the trigger below still
+	// sees the exact imbalance.
+	b.met.RecordImbalance(b.side, math.Min(li, recordedLICap))
+	b.met.RecordLoads(b.side, loads)
+
+	if !b.cfg.Migration.Enabled {
+		return
+	}
+	now := time.Now()
+	if b.mon.InFlight() && now.Sub(b.triggeredAt) > b.cfg.Migration.StuckTimeout {
+		// The source never reported back (it may have failed): re-arm.
+		b.mon.MigrationDone()
+	}
+	if d := b.mon.Evaluate(now, loads); d != nil {
+		b.triggeredAt = now
+		out.EmitDirect(cmdStream(b.side), d.Source.Instance, MigrateCmd{
+			Side:   b.side,
+			Source: d.Source,
+			Target: d.Target,
+			LI:     d.LI,
+		})
+	}
+}
+
+func (b *monitorBolt) Cleanup() {}
+
+// sinkBolt is the result-collecting component (the paper's counter bolt):
+// it counts joined pairs for the throughput meter and hands them to the
+// user callback when result emission is on.
+type sinkBolt struct {
+	cfg *Config
+	met *SystemMetrics
+}
+
+func newSinkFactory(cfg *Config, met *SystemMetrics) engine.BoltFactory {
+	return func(task int) engine.Bolt {
+		return &sinkBolt{cfg: cfg, met: met}
+	}
+}
+
+func (b *sinkBolt) Prepare(engine.Context, *engine.Collector) {}
+
+func (b *sinkBolt) Execute(m engine.Message, _ *engine.Collector) {
+	pair, ok := m.Value.(stream.JoinedPair)
+	if !ok {
+		return
+	}
+	b.met.Results.Mark(1)
+	if b.cfg.OnResult != nil {
+		b.cfg.OnResult(pair)
+	}
+}
+
+func (b *sinkBolt) Cleanup() {}

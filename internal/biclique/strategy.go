@@ -1,0 +1,19 @@
+package biclique
+
+import "fastjoin/internal/routing"
+
+// newRouter builds the router for a dispatcher task under the configured
+// strategy (implementations live in internal/routing, shared with the
+// simulator).
+func newRouter(cfg *Config, task int) routing.Router {
+	switch cfg.Strategy {
+	case StrategyHash:
+		return routing.NewHash(cfg.JoinersPerSide, cfg.Seed)
+	case StrategyContRand:
+		return routing.NewContRand(cfg.JoinersPerSide, cfg.SubgroupSize, cfg.Seed, task)
+	case StrategyRandom:
+		return routing.NewRandom(cfg.JoinersPerSide, cfg.Seed, task)
+	default:
+		panic("biclique: unknown strategy")
+	}
+}

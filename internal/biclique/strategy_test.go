@@ -1,0 +1,40 @@
+package biclique
+
+import (
+	"testing"
+
+	"fastjoin/internal/routing"
+)
+
+func TestRouterFactory(t *testing.T) {
+	cfg := &Config{JoinersPerSide: 4, SubgroupSize: 2, Seed: 1}
+	cfg.Strategy = StrategyHash
+	if _, ok := newRouter(cfg, 0).(*routing.Hash); !ok {
+		t.Error("hash strategy did not produce routing.Hash")
+	}
+	cfg.Strategy = StrategyContRand
+	if _, ok := newRouter(cfg, 0).(*routing.ContRand); !ok {
+		t.Error("contrand strategy did not produce routing.ContRand")
+	}
+	cfg.Strategy = StrategyRandom
+	if _, ok := newRouter(cfg, 0).(*routing.Random); !ok {
+		t.Error("random strategy did not produce routing.Random")
+	}
+	cfg.Strategy = Strategy(99)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown strategy should panic")
+		}
+	}()
+	newRouter(cfg, 0)
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyHash.String() != "hash" || StrategyContRand.String() != "contrand" ||
+		StrategyRandom.String() != "random" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Errorf("unknown strategy = %q", Strategy(9).String())
+	}
+}

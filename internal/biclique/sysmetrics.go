@@ -1,0 +1,126 @@
+package biclique
+
+import (
+	"sync"
+
+	"fastjoin/internal/core"
+	"fastjoin/internal/metrics"
+	"fastjoin/internal/stream"
+)
+
+// SystemMetrics aggregates the live measurements of one running join
+// system: the three quantities the paper evaluates (throughput, processing
+// latency, degree of load imbalance) plus migration accounting. All fields
+// are safe for concurrent use; the bolts update them directly.
+type SystemMetrics struct {
+	// Results counts emitted join pairs; its TickRate is the system
+	// throughput (results per second), the paper's primary metric.
+	Results *metrics.Meter
+	// Latency records per-probe processing latency in nanoseconds
+	// (dispatcher send -> join completion: queueing plus service).
+	Latency *metrics.Histogram
+	// StoredR / StoredS gauge the total stored tuples per side.
+	StoredR metrics.Gauge
+	StoredS metrics.Gauge
+
+	// Migrations counts completed migrations; MigratedKeys and
+	// MigratedTuples the total keys and stored tuples moved.
+	Migrations     metrics.Counter
+	MigratedKeys   metrics.Counter
+	MigratedTuples metrics.Counter
+
+	mu sync.Mutex
+	// liSeries records the real-time degree of load imbalance per side
+	// (Fig. 11); loadSeries records each instance's load over time
+	// (Fig. 1c).
+	liSeries   [2]*metrics.TimeSeries
+	loadSeries [2][]*metrics.TimeSeries
+	migLog     []MigrationEvent
+}
+
+// MigrationEvent records one completed migration for diagnostics.
+type MigrationEvent struct {
+	At     int64       `json:"at"` // unix nanoseconds
+	Side   stream.Side `json:"side"`
+	Source int         `json:"source"`
+	Target int         `json:"target"`
+	LI     float64     `json:"li"` // imbalance that triggered it
+	Keys   int         `json:"keys"`
+	Moved  int         `json:"moved"`
+}
+
+// NewSystemMetrics returns metrics sized for one system.
+func NewSystemMetrics(joinersPerSide int) *SystemMetrics {
+	m := &SystemMetrics{
+		Results: metrics.NewMeter(),
+		Latency: metrics.NewHistogram(),
+	}
+	for side := 0; side < 2; side++ {
+		m.liSeries[side] = &metrics.TimeSeries{}
+		m.loadSeries[side] = make([]*metrics.TimeSeries, joinersPerSide)
+		for i := range m.loadSeries[side] {
+			m.loadSeries[side][i] = &metrics.TimeSeries{}
+		}
+	}
+	return m
+}
+
+// RecordImbalance appends one LI observation for a side.
+func (m *SystemMetrics) RecordImbalance(side stream.Side, li float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.liSeries[side].AppendNow(li)
+}
+
+// RecordLoads appends the current load of every reporting instance.
+func (m *SystemMetrics) RecordLoads(side stream.Side, loads []core.InstanceLoad) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	series := m.loadSeries[side]
+	for _, l := range loads {
+		if l.Instance >= 0 && l.Instance < len(series) {
+			series[l.Instance].AppendNow(float64(l.Load()))
+		}
+	}
+}
+
+// LISeries returns the recorded LI observations of a side.
+func (m *SystemMetrics) LISeries(side stream.Side) []metrics.Point {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.liSeries[side].Points()
+}
+
+// LoadSeries returns instance i's recorded load history for a side.
+func (m *SystemMetrics) LoadSeries(side stream.Side, instance int) []metrics.Point {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	series := m.loadSeries[side]
+	if instance < 0 || instance >= len(series) {
+		return nil
+	}
+	return series[instance].Points()
+}
+
+// RecordMigration appends one migration event.
+func (m *SystemMetrics) RecordMigration(ev MigrationEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.migLog = append(m.migLog, ev)
+}
+
+// MigrationLog returns a copy of the recorded migration events.
+func (m *SystemMetrics) MigrationLog() []MigrationEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MigrationEvent, len(m.migLog))
+	copy(out, m.migLog)
+	return out
+}
+
+// Instances returns how many per-instance load series exist per side.
+func (m *SystemMetrics) Instances() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.loadSeries[0])
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sort"
+
+	"fastjoin/internal/stream"
+)
+
+// GreedyFit implements Algorithm 1 of the paper: select the set of keys to
+// migrate from the heaviest instance to the lightest one by greedily taking
+// keys in descending order of their migration key factor F_k / |R_ik|
+// (Definition 2), subject to two conditions per key:
+//
+//   - Gap > F_k — the remaining load gap must strictly exceed the key's
+//     benefit, which keeps ΔL = L_i - L_j - ΣF_k > 0 (Eq. 9) so the target
+//     never ends up heavier than the source;
+//   - F_k >= θ_gap — keys with negligible benefit are not worth the pause
+//     and transfer cost.
+//
+// The returned keys preserve the factor ordering. Complexity is
+// O(K log K) time and O(K) space, as analyzed in §IV-A.
+func GreedyFit(in SelectInput) []stream.Key {
+	gap := in.Gap()
+	if gap <= 0 || len(in.Keys) == 0 {
+		return nil
+	}
+	type scored struct {
+		key     stream.Key
+		benefit int64
+		factor  float64
+	}
+	scoredKeys := make([]scored, 0, len(in.Keys))
+	for _, ks := range in.Keys {
+		f := Benefit(in.Source, in.Target, ks)
+		// A key with no stored tuples moves for free; give it the largest
+		// factor rather than dividing by zero (the paper assumes every key
+		// in the store has at least one tuple).
+		denom := ks.Stored
+		if denom < 1 {
+			denom = 1
+		}
+		scoredKeys = append(scoredKeys, scored{
+			key:     ks.Key,
+			benefit: f,
+			factor:  float64(f) / float64(denom),
+		})
+	}
+	sort.Slice(scoredKeys, func(a, b int) bool {
+		if scoredKeys[a].factor != scoredKeys[b].factor {
+			return scoredKeys[a].factor > scoredKeys[b].factor
+		}
+		// Deterministic tie-break so selections are reproducible.
+		return scoredKeys[a].key < scoredKeys[b].key
+	})
+
+	var selected []stream.Key
+	for _, sk := range scoredKeys {
+		if gap > sk.benefit && sk.benefit >= in.MinBenefit {
+			gap -= sk.benefit
+			selected = append(selected, sk.key)
+		}
+		if gap <= 0 {
+			break
+		}
+	}
+	return selected
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastjoin/internal/stream"
+)
+
+func TestGreedyFitEmptyCases(t *testing.T) {
+	// No keys.
+	in := SelectInput{
+		Source: InstanceLoad{Stored: 100, Probe: 10},
+		Target: InstanceLoad{Stored: 1, Probe: 1},
+	}
+	if got := GreedyFit(in); got != nil {
+		t.Errorf("no keys: got %v", got)
+	}
+	// No gap (target as heavy as source).
+	in = SelectInput{
+		Source: InstanceLoad{Stored: 10, Probe: 10},
+		Target: InstanceLoad{Stored: 10, Probe: 10},
+		Keys:   []KeyStat{{Key: 1, Stored: 5, Probe: 5}},
+	}
+	if got := GreedyFit(in); got != nil {
+		t.Errorf("zero gap: got %v", got)
+	}
+	// Inverted gap.
+	in.Target = InstanceLoad{Stored: 100, Probe: 100}
+	if got := GreedyFit(in); got != nil {
+		t.Errorf("negative gap: got %v", got)
+	}
+}
+
+func TestGreedyFitSelectsHotKey(t *testing.T) {
+	// One dominant key and several cold ones: the hot key has the highest
+	// benefit but also high cost; the factor ordering should still migrate
+	// enough keys to close the gap without overshooting.
+	in := SelectInput{
+		Source: InstanceLoad{Instance: 0, Stored: 110, Probe: 110},
+		Target: InstanceLoad{Instance: 1, Stored: 10, Probe: 10},
+		Keys: []KeyStat{
+			{Key: 1, Stored: 100, Probe: 100},
+			{Key: 2, Stored: 5, Probe: 5},
+			{Key: 3, Stored: 5, Probe: 5},
+		},
+	}
+	got := GreedyFit(in)
+	if len(got) == 0 {
+		t.Fatal("expected a non-empty selection")
+	}
+	// Feasibility: ΔL > 0 (Eq. 9).
+	if TotalBenefit(in, got) >= in.Gap() {
+		t.Errorf("selection benefit %d >= gap %d", TotalBenefit(in, got), in.Gap())
+	}
+}
+
+func TestGreedyFitRespectsMinBenefit(t *testing.T) {
+	in := SelectInput{
+		Source: InstanceLoad{Stored: 1000, Probe: 1000},
+		Target: InstanceLoad{Stored: 1, Probe: 1},
+		Keys: []KeyStat{
+			{Key: 1, Stored: 1, Probe: 0}, // tiny benefit
+		},
+		MinBenefit: 1 << 40,
+	}
+	if got := GreedyFit(in); got != nil {
+		t.Errorf("selection %v violates MinBenefit", got)
+	}
+}
+
+func TestGreedyFitDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomSelectInput(rng, 50)
+	a := GreedyFit(in)
+	b := GreedyFit(in)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic selection size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic selection order at %d", i)
+		}
+	}
+}
+
+func TestGreedyFitOrderedByFactor(t *testing.T) {
+	in := SelectInput{
+		Source: InstanceLoad{Stored: 100, Probe: 100},
+		Target: InstanceLoad{Stored: 0, Probe: 0},
+		Keys: []KeyStat{
+			{Key: 10, Stored: 50, Probe: 1}, // low factor
+			{Key: 20, Stored: 1, Probe: 20}, // high factor
+		},
+	}
+	got := GreedyFit(in)
+	if len(got) == 0 || got[0] != 20 {
+		t.Errorf("selection %v should start with the highest-factor key 20", got)
+	}
+}
+
+// Property: GreedyFit's selection always satisfies ΔL > 0 (Eq. 9), i.e.
+// the source remains at least as loaded as the target after migration.
+func TestGreedyFitFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomSelectInput(rng, rng.Intn(100)+1)
+		keys := GreedyFit(in)
+		return TotalBenefit(in, keys) < in.Gap() || (len(keys) == 0 && in.Gap() <= 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (§IV-B): migrating GreedyFit's selection strictly reduces the
+// pairwise imbalance between source and target whenever the selection is
+// non-empty: LI' < LI.
+func TestGreedyFitReducesImbalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomSelectInput(rng, rng.Intn(100)+2)
+		keys := GreedyFit(in)
+		if len(keys) == 0 {
+			return true
+		}
+		before, _, _ := Imbalance([]InstanceLoad{in.Source, in.Target})
+		newSrc, newDst := ApplyMigration(in.Source, in.Target, keyStatsFor(in, keys))
+		after, _, _ := Imbalance([]InstanceLoad{newSrc, newDst})
+		return after <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the selection never contains duplicates and only known keys.
+func TestGreedyFitSelectionWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomSelectInput(rng, rng.Intn(60)+1)
+		keys := GreedyFit(in)
+		known := make(map[stream.Key]bool)
+		for _, ks := range in.Keys {
+			known[ks.Key] = true
+		}
+		seen := make(map[stream.Key]bool)
+		for _, k := range keys {
+			if seen[k] || !known[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyFitNeverSelectsEverything(t *testing.T) {
+	// Selecting all keys would invert the imbalance (source empty, target
+	// carrying everything); the Gap > F_k guard must prevent that whenever
+	// the target starts non-trivially loaded.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		in := randomSelectInput(rng, 30)
+		keys := GreedyFit(in)
+		if len(keys) == len(in.Keys) {
+			newSrc, newDst := ApplyMigration(in.Source, in.Target, keyStatsFor(in, keys))
+			if newSrc.Load() < newDst.Load() {
+				t.Fatalf("selection inverted the imbalance: %v -> %v", newSrc, newDst)
+			}
+		}
+	}
+}
+
+func BenchmarkGreedyFit1000Keys(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randomSelectInput(rng, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyFit(in)
+	}
+}

@@ -1,0 +1,150 @@
+// Package core implements the FastJoin paper's primary contribution as pure,
+// engine-independent algorithms:
+//
+//   - the load quantification model of §III-B (Eqs. 1-6): the load of join
+//     instance I_{R-i} is L_i = |R_i| * φ_si, and the degree of load
+//     imbalance is LI = L_heaviest / L_lightest;
+//   - the GreedyFit key selection algorithm of §III-C (Algorithm 1);
+//   - the SAFit simulated-annealing selector of §IV-A (Algorithm 3);
+//   - the monitor decision logic that triggers migrations when LI exceeds
+//     the threshold Θ (§III-A, §III-D).
+//
+// The joiner and monitor bolts in package biclique feed these algorithms
+// with live statistics; the test suite exercises them with synthetic ones.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fastjoin/internal/stream"
+)
+
+// InstanceLoad is the load statistic one join instance reports to its
+// monitor: the number of stored tuples of the storing stream (|R_i|) and
+// the probe pressure of the opposite stream (φ_si, measured as probe
+// arrivals in the last reporting interval plus the current queue length).
+type InstanceLoad struct {
+	Instance int   `json:"instance"`
+	Stored   int64 `json:"stored"`
+	Probe    int64 `json:"probe"`
+}
+
+// Load returns L_i = |R_i| * φ_si (Eq. 1).
+func (l InstanceLoad) Load() int64 { return l.Stored * l.Probe }
+
+// String renders the statistic compactly.
+func (l InstanceLoad) String() string {
+	return fmt.Sprintf("I%d{|R|=%d φ=%d L=%d}", l.Instance, l.Stored, l.Probe, l.Load())
+}
+
+// KeyStat is the per-key statistic kept by a join instance: the number of
+// stored tuples with the key (|R_ik|) and the probe arrivals for the key in
+// the last interval (φ_sik).
+type KeyStat struct {
+	Key    stream.Key `json:"key"`
+	Stored int64      `json:"stored"`
+	Probe  int64      `json:"probe"`
+}
+
+// Imbalance computes the degree of load imbalance LI = L_max / L_min
+// (Eq. 2) over a set of instance loads, returning also the indexes (into
+// loads) of the heaviest and lightest instances.
+//
+// Edge cases follow the model's intent: with fewer than two instances, or
+// all loads zero, LI is 1 (perfectly balanced). If the lightest load is
+// zero but the heaviest is not, LI is +Inf (unboundedly imbalanced).
+func Imbalance(loads []InstanceLoad) (li float64, heaviest, lightest int) {
+	if len(loads) == 0 {
+		return 1, -1, -1
+	}
+	heaviest, lightest = 0, 0
+	for i, l := range loads {
+		if l.Load() > loads[heaviest].Load() {
+			heaviest = i
+		}
+		if l.Load() < loads[lightest].Load() {
+			lightest = i
+		}
+	}
+	hi, lo := loads[heaviest].Load(), loads[lightest].Load()
+	switch {
+	case hi == 0:
+		return 1, heaviest, lightest
+	case lo == 0:
+		return math.Inf(1), heaviest, lightest
+	default:
+		return float64(hi) / float64(lo), heaviest, lightest
+	}
+}
+
+// Benefit returns the migration benefit F_k of moving key k from the source
+// instance i to the target instance j (Definition 1, Eq. 8):
+//
+//	F_k = (|R_i| + |R_j|) * φ_sik + (φ_si + φ_sj) * |R_ik|
+//
+// Equation 7 defines F_k as (L_i - L_j) - (L'_i - L'_j); the two forms are
+// algebraically identical, which TestBenefitMatchesLoadDifference verifies.
+func Benefit(source, target InstanceLoad, k KeyStat) int64 {
+	return (source.Stored+target.Stored)*k.Probe + (source.Probe+target.Probe)*k.Stored
+}
+
+// ApplyMigration returns the post-migration loads of the source and target
+// instances after moving the given keys (Eqs. 5 and 6): the source loses
+// the keys' stored tuples and probe pressure, the target gains them.
+func ApplyMigration(source, target InstanceLoad, keys []KeyStat) (newSource, newTarget InstanceLoad) {
+	var stored, probe int64
+	for _, k := range keys {
+		stored += k.Stored
+		probe += k.Probe
+	}
+	newSource = InstanceLoad{
+		Instance: source.Instance,
+		Stored:   source.Stored - stored,
+		Probe:    source.Probe - probe,
+	}
+	newTarget = InstanceLoad{
+		Instance: target.Instance,
+		Stored:   target.Stored + stored,
+		Probe:    target.Probe + probe,
+	}
+	return newSource, newTarget
+}
+
+// SelectInput is everything a key selection algorithm needs: the aggregate
+// loads of the source (heaviest) and target (lightest) instances, the
+// per-key statistics of the source, and the minimum benefit θ_gap below
+// which a key is not worth migrating.
+type SelectInput struct {
+	Source InstanceLoad
+	Target InstanceLoad
+	Keys   []KeyStat
+	// MinBenefit is θ_gap in Algorithm 1: keys whose migration benefit
+	// falls below it are skipped (migrating them costs more in pause and
+	// transfer time than the load they re-balance).
+	MinBenefit int64
+}
+
+// Gap returns L_i - L_j, the knapsack capacity of the selection problem.
+func (in SelectInput) Gap() int64 { return in.Source.Load() - in.Target.Load() }
+
+// Selector is a key selection algorithm: it picks the set of keys to move
+// from the source to the target. Implementations: GreedyFit, SAFit's
+// Select method.
+type Selector func(in SelectInput) []stream.Key
+
+// TotalBenefit sums the migration benefit of a key set (Benefit(SK) in
+// Algorithm 3).
+func TotalBenefit(in SelectInput, keys []stream.Key) int64 {
+	set := make(map[stream.Key]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	var sum int64
+	for _, ks := range in.Keys {
+		if set[ks.Key] {
+			sum += Benefit(in.Source, in.Target, ks)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fastjoin/internal/stream"
+)
+
+func TestInstanceLoadProduct(t *testing.T) {
+	l := InstanceLoad{Instance: 3, Stored: 100, Probe: 7}
+	if l.Load() != 700 {
+		t.Errorf("Load = %d, want 700", l.Load())
+	}
+	if !strings.Contains(l.String(), "I3") {
+		t.Errorf("String = %q", l.String())
+	}
+}
+
+func TestImbalanceBasic(t *testing.T) {
+	loads := []InstanceLoad{
+		{Instance: 0, Stored: 10, Probe: 10}, // 100
+		{Instance: 1, Stored: 5, Probe: 10},  // 50
+		{Instance: 2, Stored: 20, Probe: 10}, // 200
+	}
+	li, hi, lo := Imbalance(loads)
+	if li != 4 {
+		t.Errorf("LI = %f, want 4", li)
+	}
+	if hi != 2 || lo != 1 {
+		t.Errorf("heaviest=%d lightest=%d, want 2/1", hi, lo)
+	}
+}
+
+func TestImbalanceEdgeCases(t *testing.T) {
+	if li, hi, lo := Imbalance(nil); li != 1 || hi != -1 || lo != -1 {
+		t.Errorf("empty: li=%f hi=%d lo=%d", li, hi, lo)
+	}
+	// All zero loads: balanced.
+	li, _, _ := Imbalance([]InstanceLoad{{Stored: 0, Probe: 5}, {Stored: 0, Probe: 9}})
+	if li != 1 {
+		t.Errorf("all-zero LI = %f, want 1", li)
+	}
+	// Zero lightest, positive heaviest: infinite imbalance.
+	li, _, _ = Imbalance([]InstanceLoad{{Stored: 10, Probe: 10}, {Stored: 0, Probe: 10}})
+	if !math.IsInf(li, 1) {
+		t.Errorf("LI = %f, want +Inf", li)
+	}
+	// Single instance: balanced by definition.
+	li, hi, lo := Imbalance([]InstanceLoad{{Stored: 10, Probe: 10}})
+	if li != 1 || hi != 0 || lo != 0 {
+		t.Errorf("single: li=%f hi=%d lo=%d", li, hi, lo)
+	}
+}
+
+func TestImbalanceAlwaysAtLeastOne(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		loads := make([]InstanceLoad, len(seeds))
+		for i, s := range seeds {
+			loads[i] = InstanceLoad{Instance: i, Stored: int64(s % 100), Probe: int64(s % 37)}
+		}
+		li, _, _ := Imbalance(loads)
+		return li >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBenefitMatchesLoadDifference verifies Eq. 7 == Eq. 8: the closed-form
+// benefit formula equals the directly computed difference-of-differences.
+func TestBenefitMatchesLoadDifference(t *testing.T) {
+	f := func(ri, rj, pi, pj, rik, pik uint16) bool {
+		src := InstanceLoad{Stored: int64(ri) + int64(rik), Probe: int64(pi) + int64(pik)}
+		dst := InstanceLoad{Stored: int64(rj), Probe: int64(pj)}
+		k := KeyStat{Key: 1, Stored: int64(rik), Probe: int64(pik)}
+
+		// Eq. 8 closed form.
+		f8 := Benefit(src, dst, k)
+
+		// Eq. 7: (L_i - L_j) - (L'_i - L'_j) with Eqs. 5/6 primes.
+		newSrc, newDst := ApplyMigration(src, dst, []KeyStat{k})
+		f7 := (src.Load() - dst.Load()) - (newSrc.Load() - newDst.Load())
+
+		return f7 == f8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyMigrationConservation(t *testing.T) {
+	src := InstanceLoad{Instance: 0, Stored: 100, Probe: 50}
+	dst := InstanceLoad{Instance: 1, Stored: 20, Probe: 10}
+	keys := []KeyStat{
+		{Key: 1, Stored: 30, Probe: 15},
+		{Key: 2, Stored: 10, Probe: 5},
+	}
+	newSrc, newDst := ApplyMigration(src, dst, keys)
+	if newSrc.Stored+newDst.Stored != src.Stored+dst.Stored {
+		t.Error("stored tuples not conserved")
+	}
+	if newSrc.Probe+newDst.Probe != src.Probe+dst.Probe {
+		t.Error("probe pressure not conserved")
+	}
+	if newSrc.Stored != 60 || newDst.Stored != 60 {
+		t.Errorf("stored = %d/%d, want 60/60", newSrc.Stored, newDst.Stored)
+	}
+	if newSrc.Instance != 0 || newDst.Instance != 1 {
+		t.Error("instance ids must be preserved")
+	}
+}
+
+func TestSelectInputGap(t *testing.T) {
+	in := SelectInput{
+		Source: InstanceLoad{Stored: 10, Probe: 10}, // 100
+		Target: InstanceLoad{Stored: 3, Probe: 10},  // 30
+	}
+	if in.Gap() != 70 {
+		t.Errorf("Gap = %d, want 70", in.Gap())
+	}
+}
+
+func TestTotalBenefit(t *testing.T) {
+	in := SelectInput{
+		Source: InstanceLoad{Stored: 10, Probe: 10},
+		Target: InstanceLoad{Stored: 2, Probe: 2},
+		Keys: []KeyStat{
+			{Key: 1, Stored: 3, Probe: 2},
+			{Key: 2, Stored: 1, Probe: 1},
+		},
+	}
+	want := Benefit(in.Source, in.Target, in.Keys[0]) + Benefit(in.Source, in.Target, in.Keys[1])
+	if got := TotalBenefit(in, []stream.Key{1, 2}); got != want {
+		t.Errorf("TotalBenefit = %d, want %d", got, want)
+	}
+	if got := TotalBenefit(in, nil); got != 0 {
+		t.Errorf("empty TotalBenefit = %d, want 0", got)
+	}
+	if got := TotalBenefit(in, []stream.Key{99}); got != 0 {
+		t.Errorf("unknown key TotalBenefit = %d, want 0", got)
+	}
+}
+
+// randomSelectInput builds a random but structurally consistent selection
+// problem: the source aggregates equal the sums of its per-key stats.
+func randomSelectInput(rng *rand.Rand, nKeys int) SelectInput {
+	keys := make([]KeyStat, nKeys)
+	var stored, probe int64
+	for i := range keys {
+		keys[i] = KeyStat{
+			Key:    stream.Key(i),
+			Stored: int64(rng.Intn(50) + 1),
+			Probe:  int64(rng.Intn(20)),
+		}
+		stored += keys[i].Stored
+		probe += keys[i].Probe
+	}
+	return SelectInput{
+		Source: InstanceLoad{Instance: 0, Stored: stored, Probe: probe},
+		Target: InstanceLoad{Instance: 1, Stored: stored / 8, Probe: probe / 8},
+		Keys:   keys,
+	}
+}
+
+func keyStatsFor(in SelectInput, keys []stream.Key) []KeyStat {
+	set := make(map[stream.Key]bool)
+	for _, k := range keys {
+		set[k] = true
+	}
+	var out []KeyStat
+	for _, ks := range in.Keys {
+		if set[ks.Key] {
+			out = append(out, ks)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func balancedLoads() []InstanceLoad {
+	return []InstanceLoad{
+		{Instance: 0, Stored: 100, Probe: 10},
+		{Instance: 1, Stored: 100, Probe: 10},
+	}
+}
+
+func skewedLoads() []InstanceLoad {
+	return []InstanceLoad{
+		{Instance: 0, Stored: 1000, Probe: 100}, // 100000
+		{Instance: 1, Stored: 100, Probe: 100},  // 10000
+	}
+}
+
+func TestMonitorTriggersOnImbalance(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{Theta: 2.2, Cooldown: time.Second, MinStored: 1, SustainTicks: 1})
+	now := time.Now()
+	d := m.Evaluate(now, skewedLoads())
+	if d == nil {
+		t.Fatal("expected a migration decision")
+	}
+	if d.Source.Instance != 0 || d.Target.Instance != 1 {
+		t.Errorf("decision %+v, want source 0 target 1", d)
+	}
+	if d.LI != 10 {
+		t.Errorf("LI = %f, want 10", d.LI)
+	}
+	if !m.InFlight() {
+		t.Error("monitor should mark migration in flight")
+	}
+}
+
+func TestMonitorNoTriggerWhenBalanced(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{Theta: 2.2, Cooldown: time.Second, MinStored: 1, SustainTicks: 1})
+	if d := m.Evaluate(time.Now(), balancedLoads()); d != nil {
+		t.Errorf("unexpected decision %+v", d)
+	}
+}
+
+func TestMonitorInFlightSuppression(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{Theta: 2.2, Cooldown: time.Nanosecond, MinStored: 1, SustainTicks: 1})
+	now := time.Now()
+	if m.Evaluate(now, skewedLoads()) == nil {
+		t.Fatal("first evaluation should trigger")
+	}
+	if d := m.Evaluate(now.Add(time.Hour), skewedLoads()); d != nil {
+		t.Errorf("in-flight migration not suppressed: %+v", d)
+	}
+	m.MigrationDone()
+	if m.Evaluate(now.Add(2*time.Hour), skewedLoads()) == nil {
+		t.Error("after MigrationDone the monitor should trigger again")
+	}
+}
+
+func TestMonitorCooldown(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{Theta: 2.2, Cooldown: time.Minute, MinStored: 1, SustainTicks: 1})
+	now := time.Now()
+	if m.Evaluate(now, skewedLoads()) == nil {
+		t.Fatal("first evaluation should trigger")
+	}
+	m.MigrationDone()
+	if d := m.Evaluate(now.Add(time.Second), skewedLoads()); d != nil {
+		t.Errorf("cooldown violated: %+v", d)
+	}
+	if m.Evaluate(now.Add(2*time.Minute), skewedLoads()) == nil {
+		t.Error("cooldown elapsed but no trigger")
+	}
+}
+
+func TestMonitorMinStored(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{Theta: 1.5, Cooldown: time.Nanosecond, MinStored: 10000, SustainTicks: 1})
+	if d := m.Evaluate(time.Now(), skewedLoads()); d != nil {
+		t.Errorf("MinStored not honored: %+v", d)
+	}
+}
+
+func TestMonitorTooFewInstances(t *testing.T) {
+	m := NewMonitor(DefaultMonitorPolicy())
+	if d := m.Evaluate(time.Now(), skewedLoads()[:1]); d != nil {
+		t.Errorf("single instance triggered migration: %+v", d)
+	}
+}
+
+func TestMonitorThetaBoundary(t *testing.T) {
+	// LI exactly equal to Theta must NOT trigger (strictly greater).
+	m := NewMonitor(MonitorPolicy{Theta: 10, Cooldown: time.Nanosecond, MinStored: 1, SustainTicks: 1})
+	if d := m.Evaluate(time.Now(), skewedLoads()); d != nil {
+		t.Errorf("LI == Theta should not trigger: %+v", d)
+	}
+	m2 := NewMonitor(MonitorPolicy{Theta: 9.99, Cooldown: time.Nanosecond, MinStored: 1, SustainTicks: 1})
+	if m2.Evaluate(time.Now(), skewedLoads()) == nil {
+		t.Error("LI > Theta should trigger")
+	}
+}
+
+func TestMonitorPolicyDefaults(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{})
+	p := m.Policy()
+	if p.Theta != 2.2 || p.Cooldown != time.Second {
+		t.Errorf("defaults = %+v", p)
+	}
+	// Theta <= 1 is nonsensical (LI >= 1 always): replaced by default.
+	m = NewMonitor(MonitorPolicy{Theta: 0.5})
+	if m.Policy().Theta != 2.2 {
+		t.Errorf("Theta 0.5 should be replaced, got %f", m.Policy().Theta)
+	}
+}
+
+func TestMonitorHysteresis(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{Theta: 2.2, Cooldown: time.Nanosecond, MinStored: 1, SustainTicks: 3})
+	now := time.Now()
+	if m.Evaluate(now, skewedLoads()) != nil {
+		t.Fatal("first observation must not trigger with SustainTicks=3")
+	}
+	if m.Evaluate(now.Add(time.Millisecond), skewedLoads()) != nil {
+		t.Fatal("second observation must not trigger")
+	}
+	if m.Evaluate(now.Add(2*time.Millisecond), skewedLoads()) == nil {
+		t.Fatal("third consecutive observation should trigger")
+	}
+}
+
+func TestMonitorHysteresisResetsWhenBalanced(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{Theta: 2.2, Cooldown: time.Nanosecond, MinStored: 1, SustainTicks: 2})
+	now := time.Now()
+	m.Evaluate(now, skewedLoads())
+	// A balanced observation resets the streak.
+	m.Evaluate(now.Add(time.Millisecond), balancedLoads())
+	if m.Evaluate(now.Add(2*time.Millisecond), skewedLoads()) != nil {
+		t.Fatal("streak should have been reset by the balanced observation")
+	}
+}
+
+func TestMonitorTargetProtection(t *testing.T) {
+	m := NewMonitor(MonitorPolicy{
+		Theta: 1.5, Cooldown: time.Nanosecond, MinStored: 1,
+		SustainTicks: 1, TargetProtection: time.Hour,
+	})
+	now := time.Now()
+	d := m.Evaluate(now, skewedLoads())
+	if d == nil {
+		t.Fatal("expected initial trigger")
+	}
+	m.MigrationDone()
+	// Now the previous target (instance 1) reports as the heaviest; it
+	// must be protected from immediately becoming the source.
+	flipped := []InstanceLoad{
+		{Instance: 0, Stored: 100, Probe: 100},
+		{Instance: 1, Stored: 1000, Probe: 100},
+	}
+	if got := m.Evaluate(now.Add(time.Millisecond), flipped); got != nil {
+		t.Fatalf("protected target became source: %+v", got)
+	}
+	// After the protection window it may be selected.
+	if m.Evaluate(now.Add(2*time.Hour), flipped) == nil {
+		t.Fatal("protection should expire")
+	}
+}
+
+func TestDefaultMonitorPolicyMatchesPaper(t *testing.T) {
+	if got := DefaultMonitorPolicy().Theta; got != 2.2 {
+		t.Errorf("default Theta = %f, want the paper's 2.2", got)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastjoin/internal/stream"
+)
+
+// exhaustiveBest finds the feasible key subset with the maximum total
+// benefit by brute force (the 0-1 knapsack optimum the paper models the
+// selection problem as, §III-C). Only usable for tiny key counts.
+func exhaustiveBest(in SelectInput) (best []stream.Key, bestBenefit int64) {
+	n := len(in.Keys)
+	gap := in.Gap()
+	for mask := 0; mask < 1<<n; mask++ {
+		var benefit int64
+		var keys []stream.Key
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			benefit += Benefit(in.Source, in.Target, in.Keys[i])
+			keys = append(keys, in.Keys[i].Key)
+		}
+		if benefit < gap && benefit > bestBenefit {
+			best, bestBenefit = keys, benefit
+		}
+	}
+	return best, bestBenefit
+}
+
+// TestGreedyFitNearOptimal compares GreedyFit's gap closure against the
+// exhaustive optimum on small random instances. Greedy knapsack is not
+// optimal, but it should consistently reach a large fraction of the
+// optimal benefit (the paper's §IV-A accepts the approximation).
+func TestGreedyFitNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const trials = 60
+	var ratioSum float64
+	counted := 0
+	for trial := 0; trial < trials; trial++ {
+		in := randomSelectInput(rng, rng.Intn(8)+4) // 4..11 keys
+		_, optBenefit := exhaustiveBest(in)
+		if optBenefit == 0 {
+			continue
+		}
+		greedy := TotalBenefit(in, GreedyFit(in))
+		if greedy > in.Gap() {
+			t.Fatalf("trial %d: greedy benefit %d exceeds gap %d", trial, greedy, in.Gap())
+		}
+		ratioSum += float64(greedy) / float64(optBenefit)
+		counted++
+	}
+	if counted == 0 {
+		t.Skip("no instances with feasible selections")
+	}
+	avg := ratioSum / float64(counted)
+	if avg < 0.7 {
+		t.Errorf("GreedyFit reaches only %.0f%% of the exhaustive optimum on average", avg*100)
+	}
+}
+
+// TestSAFitNearOptimal does the same for the simulated-annealing selector.
+func TestSAFitNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	const trials = 30
+	var ratioSum float64
+	counted := 0
+	for trial := 0; trial < trials; trial++ {
+		in := randomSelectInput(rng, rng.Intn(6)+4)
+		_, optBenefit := exhaustiveBest(in)
+		if optBenefit == 0 {
+			continue
+		}
+		cfg := DefaultSAConfig()
+		cfg.Seed = int64(trial + 1)
+		sa := TotalBenefit(in, SAFit(in, cfg))
+		ratioSum += float64(sa) / float64(optBenefit)
+		counted++
+	}
+	if counted == 0 {
+		t.Skip("no instances with feasible selections")
+	}
+	// SAFit optimizes value (benefit per tuple), not raw benefit, so its
+	// raw-benefit ratio can be lower; it must still be substantial.
+	if avg := ratioSum / float64(counted); avg < 0.3 {
+		t.Errorf("SAFit reaches only %.0f%% of the exhaustive optimum on average", avg*100)
+	}
+}
+
+// TestSelectorsConvergeTowardBalance simulates repeated monitor+selector
+// rounds on a static load distribution and asserts the pairwise imbalance
+// ratchets down — the system-level property Fig. 11 shows.
+func TestSelectorsConvergeTowardBalance(t *testing.T) {
+	// SAFit maximizes benefit-per-tuple and therefore takes smaller steps
+	// per round; it gets a looser convergence bound.
+	cases := []struct {
+		name     string
+		selector Selector
+		rounds   int
+		bound    float64
+	}{
+		{"greedyfit", GreedyFit, 6, 2.0},
+		{"safit", SAFitSelector(DefaultSAConfig()), 25, 3.0},
+	}
+	for _, tc := range cases {
+		selector, rounds, bound := tc.selector, tc.rounds, tc.bound
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			// Build 4 instances' worth of per-key stats.
+			const instances = 4
+			perInst := make([][]KeyStat, instances)
+			nextKey := stream.Key(0)
+			for i := range perInst {
+				n := rng.Intn(30) + 10
+				if i == 0 {
+					n *= 4 // instance 0 starts hot
+				}
+				for k := 0; k < n; k++ {
+					perInst[i] = append(perInst[i], KeyStat{
+						Key:    nextKey,
+						Stored: int64(rng.Intn(40) + 1),
+						Probe:  int64(rng.Intn(20) + 1),
+					})
+					nextKey++
+				}
+			}
+			loadOf := func(keys []KeyStat) InstanceLoad {
+				var l InstanceLoad
+				for _, k := range keys {
+					l.Stored += k.Stored
+					l.Probe += k.Probe
+				}
+				return l
+			}
+			li := func() float64 {
+				loads := make([]InstanceLoad, instances)
+				for i := range perInst {
+					loads[i] = loadOf(perInst[i])
+					loads[i].Instance = i
+				}
+				v, _, _ := Imbalance(loads)
+				return v
+			}
+			initial := li()
+			for round := 0; round < rounds; round++ {
+				loads := make([]InstanceLoad, instances)
+				for i := range perInst {
+					loads[i] = loadOf(perInst[i])
+					loads[i].Instance = i
+				}
+				_, hi, lo := Imbalance(loads)
+				if hi == lo {
+					break
+				}
+				in := SelectInput{Source: loads[hi], Target: loads[lo], Keys: perInst[hi], MinBenefit: 1}
+				selected := selector(in)
+				if len(selected) == 0 {
+					break
+				}
+				sel := make(map[stream.Key]bool)
+				for _, k := range selected {
+					sel[k] = true
+				}
+				var stay []KeyStat
+				for _, ks := range perInst[hi] {
+					if sel[ks.Key] {
+						perInst[lo] = append(perInst[lo], ks)
+					} else {
+						stay = append(stay, ks)
+					}
+				}
+				perInst[hi] = stay
+			}
+			final := li()
+			if final >= initial {
+				t.Errorf("LI did not improve: initial %.2f final %.2f", initial, final)
+			}
+			if final > bound {
+				t.Errorf("LI after migrations = %.2f, want <= %.1f", final, bound)
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"fastjoin/internal/stream"
+)
+
+// SAConfig parameterizes the SAFit simulated-annealing selector
+// (Algorithm 3): initial temperature T, termination temperature T_min,
+// attenuation coefficient a applied after every L iterations, and the seed
+// for the random walk.
+type SAConfig struct {
+	T0    float64
+	Tmin  float64
+	Alpha float64
+	Iter  int // L: iterations per temperature
+	Seed  int64
+}
+
+// DefaultSAConfig returns the annealing schedule used in the evaluation:
+// small enough to run inside a migration pause, large enough to converge on
+// the key counts a join instance holds in practice.
+func DefaultSAConfig() SAConfig {
+	return SAConfig{T0: 1.0, Tmin: 1e-3, Alpha: 0.9, Iter: 64, Seed: 1}
+}
+
+func (c SAConfig) validate() SAConfig {
+	if c.T0 <= 0 {
+		c.T0 = 1.0
+	}
+	if c.Tmin <= 0 || c.Tmin >= c.T0 {
+		c.Tmin = c.T0 / 1000
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.9
+	}
+	if c.Iter <= 0 {
+		c.Iter = 64
+	}
+	return c
+}
+
+// SAFit implements Algorithm 3: a simulated-annealing search over key
+// subsets. The solution space is all subsets SK with Benefit(SK) <= L_i-L_j
+// (the Eq. 9 feasibility condition); the objective is
+//
+//	Value(SK) = Σ_{k∈SK} F_k / Σ_{k∈SK} |R_ik|       (Eq. 10)
+//
+// i.e. benefit per migrated tuple, the same figure of merit GreedyFit
+// orders by. Worse neighbours are accepted with the Metropolis probability
+// e^{(Value_new - Value_old)/T} (Eq. 11).
+func SAFit(in SelectInput, cfg SAConfig) []stream.Key {
+	cfg = cfg.validate()
+	gap := in.Gap()
+	if gap <= 0 || len(in.Keys) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Precompute per-key benefit and cost.
+	n := len(in.Keys)
+	benefit := make([]int64, n)
+	cost := make([]int64, n)
+	for i, ks := range in.Keys {
+		benefit[i] = Benefit(in.Source, in.Target, ks)
+		cost[i] = ks.Stored
+	}
+
+	value := func(selBenefit, selCost int64) float64 {
+		if selBenefit <= 0 {
+			return 0
+		}
+		if selCost < 1 {
+			selCost = 1
+		}
+		return float64(selBenefit) / float64(selCost)
+	}
+
+	// Initial random solution: add keys in random order while feasible
+	// (Algorithm 3 lines 3-14).
+	flags := make([]bool, n)
+	var curBenefit, curCost int64
+	for _, i := range rng.Perm(n) {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		if curBenefit+benefit[i] > gap {
+			break
+		}
+		flags[i] = true
+		curBenefit += benefit[i]
+		curCost += cost[i]
+	}
+
+	bestFlags := make([]bool, n)
+	copy(bestFlags, flags)
+	bestValue := value(curBenefit, curCost)
+	curValue := bestValue
+
+	for t := cfg.T0; t > cfg.Tmin; t *= cfg.Alpha {
+		for it := 0; it < cfg.Iter; it++ {
+			i := rng.Intn(n)
+			// Flip key i (Algorithm 3 lines 19-21).
+			newBenefit, newCost := curBenefit, curCost
+			if flags[i] {
+				newBenefit -= benefit[i]
+				newCost -= cost[i]
+			} else {
+				newBenefit += benefit[i]
+				newCost += cost[i]
+			}
+			if newBenefit > gap {
+				continue // infeasible neighbour (line 34-36)
+			}
+			newValue := value(newBenefit, newCost)
+			accept := newValue > curValue
+			if !accept {
+				p := math.Exp((newValue - curValue) / t)
+				accept = rng.Float64() < p
+			}
+			if !accept {
+				continue
+			}
+			flags[i] = !flags[i]
+			curBenefit, curCost, curValue = newBenefit, newCost, newValue
+			if curValue > bestValue {
+				bestValue = curValue
+				copy(bestFlags, flags)
+			}
+		}
+	}
+
+	var out []stream.Key
+	for i, on := range bestFlags {
+		if on {
+			out = append(out, in.Keys[i].Key)
+		}
+	}
+	return out
+}
+
+// SAFitSelector adapts SAFit to the Selector function type.
+func SAFitSelector(cfg SAConfig) Selector {
+	return func(in SelectInput) []stream.Key { return SAFit(in, cfg) }
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastjoin/internal/stream"
+)
+
+func TestSAFitEmptyCases(t *testing.T) {
+	cfg := DefaultSAConfig()
+	in := SelectInput{
+		Source: InstanceLoad{Stored: 10, Probe: 10},
+		Target: InstanceLoad{Stored: 10, Probe: 10},
+		Keys:   []KeyStat{{Key: 1, Stored: 5, Probe: 5}},
+	}
+	if got := SAFit(in, cfg); got != nil {
+		t.Errorf("zero gap: got %v", got)
+	}
+	in.Keys = nil
+	in.Target = InstanceLoad{}
+	if got := SAFit(in, cfg); got != nil {
+		t.Errorf("no keys: got %v", got)
+	}
+}
+
+func TestSAFitConfigValidation(t *testing.T) {
+	cfg := SAConfig{T0: -1, Tmin: 100, Alpha: 2, Iter: -5}.validate()
+	if cfg.T0 != 1.0 || cfg.Alpha != 0.9 || cfg.Iter != 64 {
+		t.Errorf("validated config = %+v", cfg)
+	}
+	if cfg.Tmin >= cfg.T0 {
+		t.Errorf("Tmin %f not below T0 %f", cfg.Tmin, cfg.T0)
+	}
+}
+
+func TestSAFitDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomSelectInput(rng, 40)
+	cfg := DefaultSAConfig()
+	a := SAFit(in, cfg)
+	b := SAFit(in, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same selection")
+		}
+	}
+}
+
+// Property: SAFit solutions always satisfy the feasibility constraint
+// Benefit(SK) <= L_i - L_j (Algorithm 3 line 22).
+func TestSAFitFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomSelectInput(rng, rng.Intn(60)+1)
+		cfg := DefaultSAConfig()
+		cfg.Seed = seed
+		keys := SAFit(in, cfg)
+		return TotalBenefit(in, keys) <= in.Gap()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SAFit never makes the pairwise imbalance worse.
+func TestSAFitDoesNotWorsenImbalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomSelectInput(rng, rng.Intn(60)+2)
+		cfg := DefaultSAConfig()
+		cfg.Seed = seed
+		keys := SAFit(in, cfg)
+		if len(keys) == 0 {
+			return true
+		}
+		newSrc, _ := ApplyMigration(in.Source, in.Target, keyStatsFor(in, keys))
+		// Feasible solutions keep the source at least as heavy as the
+		// target, so max stays at the source and shrinks.
+		return newSrc.Load() <= in.Source.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fig. 14's finding: GreedyFit and SAFit produce selections of comparable
+// quality (benefit-per-tuple within a reasonable factor on typical inputs).
+func TestSAFitComparableToGreedyFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	betterOrClose := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		in := randomSelectInput(rng, 80)
+		g := GreedyFit(in)
+		cfg := DefaultSAConfig()
+		cfg.Seed = int64(i)
+		s := SAFit(in, cfg)
+		gv := selectionValue(in, g)
+		sv := selectionValue(in, s)
+		if sv >= gv*0.5 {
+			betterOrClose++
+		}
+	}
+	if betterOrClose < trials*2/3 {
+		t.Errorf("SAFit close to GreedyFit in only %d/%d trials", betterOrClose, trials)
+	}
+}
+
+// selectionValue computes Eq. 10's Value(SK) = ΣF_k / Σ|R_ik|.
+func selectionValue(in SelectInput, keys []stream.Key) float64 {
+	stats := keyStatsFor(in, keys)
+	if len(stats) == 0 {
+		return 0
+	}
+	var cost int64
+	for _, ks := range stats {
+		cost += ks.Stored
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	return float64(TotalBenefit(in, keys)) / float64(cost)
+}

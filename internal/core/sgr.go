@@ -1,0 +1,37 @@
+package core
+
+// SGR computes the scaling gain ratio of §IV-C (Eq. 12): the fraction of a
+// newly added join instance's memory that is available for storing tuples,
+// given that FastJoin additionally keeps per-key statistics.
+//
+//	SGR = (χ_t * |R|) / (χ_t * |R| + χ_k * K)
+//
+// tupleBytes is χ_t (bytes per stored tuple), keyStatBytes is χ_k (bytes
+// per per-key statistics entry), tuples is |R| and keys is K.
+func SGR(tupleBytes, keyStatBytes, tuples, keys int64) float64 {
+	if tupleBytes <= 0 || tuples < 0 || keys < 0 || keyStatBytes < 0 {
+		return 0
+	}
+	num := float64(tupleBytes) * float64(tuples)
+	den := num + float64(keyStatBytes)*float64(keys)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// SGRByDensity is the c-form of Eq. 13, where c = |R| / K is the average
+// number of tuples per key:
+//
+//	SGR = (χ_t * c) / (χ_t * c + χ_k)
+func SGRByDensity(tupleBytes, keyStatBytes int64, c float64) float64 {
+	if tupleBytes <= 0 || c < 0 || keyStatBytes < 0 {
+		return 0
+	}
+	num := float64(tupleBytes) * c
+	den := num + float64(keyStatBytes)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSGRFormsAgree(t *testing.T) {
+	// Eq. 12 with |R| = c*K must equal Eq. 13.
+	f := func(tb, kb uint8, cRaw, kRaw uint16) bool {
+		tupleBytes := int64(tb%64) + 1
+		keyBytes := int64(kb % 32)
+		c := int64(cRaw%100) + 1
+		keys := int64(kRaw%1000) + 1
+		a := SGR(tupleBytes, keyBytes, c*keys, keys)
+		b := SGRByDensity(tupleBytes, keyBytes, float64(c))
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSGRPaperClaim(t *testing.T) {
+	// §IV-C: with equal tuple/stat sizes and c > 10, SGR exceeds 0.9 —
+	// "more than 90 percent of memory can be shared to store new tuples".
+	if got := SGRByDensity(64, 64, 10); got < 0.9-1e-9 {
+		t.Errorf("SGR at c=10 = %f, want >= 0.9", got)
+	}
+	// The paper's DiDi order stream has c ≈ 14.
+	if got := SGRByDensity(64, 64, 14); got <= 0.9 {
+		t.Errorf("SGR at c=14 = %f, want > 0.9", got)
+	}
+	// Track stream: c > 10000 -> essentially 1.
+	if got := SGRByDensity(64, 64, 10000); got < 0.999 {
+		t.Errorf("SGR at c=10000 = %f, want ~1", got)
+	}
+}
+
+func TestSGRMonotoneInDensity(t *testing.T) {
+	prev := 0.0
+	for c := 1.0; c < 100; c++ {
+		cur := SGRByDensity(48, 16, c)
+		if cur < prev {
+			t.Fatalf("SGR not monotone at c=%f", c)
+		}
+		prev = cur
+	}
+}
+
+func TestSGRBounds(t *testing.T) {
+	f := func(tb, kb uint8, tuples, keys uint16) bool {
+		v := SGR(int64(tb)+1, int64(kb), int64(tuples), int64(keys))
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSGRDegenerateInputs(t *testing.T) {
+	if SGR(0, 1, 1, 1) != 0 {
+		t.Error("zero tuple size should yield 0")
+	}
+	if SGR(1, 0, 0, 0) != 0 {
+		t.Error("empty store with no keys should yield 0")
+	}
+	if SGRByDensity(-1, 1, 1) != 0 || SGRByDensity(1, -1, 1) != 0 {
+		t.Error("negative sizes should yield 0")
+	}
+}

@@ -1,0 +1,576 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// listSpout emits a fixed sequence of ints on stream "out".
+type listSpout struct {
+	values []int
+	i      int
+}
+
+func (s *listSpout) Open(Context, *Collector) {}
+func (s *listSpout) Next(out *Collector) bool {
+	if s.i >= len(s.values) {
+		return false
+	}
+	out.Emit("out", s.values[s.i])
+	s.i++
+	return true
+}
+func (s *listSpout) Close() {}
+
+// sinkBolt records everything it receives.
+type sinkBolt struct {
+	mu       sync.Mutex
+	received []Message
+	cleaned  atomic.Bool
+}
+
+func (b *sinkBolt) Prepare(Context, *Collector) {}
+func (b *sinkBolt) Execute(m Message, _ *Collector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.received = append(b.received, m)
+}
+func (b *sinkBolt) Cleanup() { b.cleaned.Store(true) }
+
+func (b *sinkBolt) messages() []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Message, len(b.received))
+	copy(out, b.received)
+	return out
+}
+
+func intsSpoutFactory(n int) SpoutFactory {
+	return func(task int) Spout {
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i
+		}
+		return &listSpout{values: vals}
+	}
+}
+
+// runAndDrain submits, drains and stops, failing the test on error.
+func runAndDrain(t *testing.T, topo *Topology) *LocalCluster {
+	t.Helper()
+	c, err := Submit(topo, Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := c.WaitComplete(10 * time.Second); err != nil {
+		c.Stop()
+		t.Fatalf("WaitComplete: %v", err)
+	}
+	c.Stop()
+	return c
+}
+
+func TestShuffleDeliversAllConserved(t *testing.T) {
+	sinks := make([]*sinkBolt, 4)
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(1000), 1)
+	b.AddBolt("sink", func(task int) Bolt {
+		sinks[task] = &sinkBolt{}
+		return sinks[task]
+	}, 4).Shuffle("src", "out")
+	runAndDrain(t, b.MustBuild())
+
+	total := 0
+	for _, s := range sinks {
+		n := len(s.messages())
+		total += n
+		// Round-robin shuffle should be near-perfectly balanced.
+		if n != 250 {
+			t.Errorf("task got %d messages, want 250", n)
+		}
+	}
+	if total != 1000 {
+		t.Errorf("total = %d, want 1000 (conservation)", total)
+	}
+}
+
+func TestFieldsGroupingSameKeySameTask(t *testing.T) {
+	sinks := make([]*sinkBolt, 4)
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(400), 1)
+	b.AddBolt("sink", func(task int) Bolt {
+		sinks[task] = &sinkBolt{}
+		return sinks[task]
+	}, 4).Fields("src", "out", func(v any) uint64 { return uint64(v.(int) % 10) })
+	runAndDrain(t, b.MustBuild())
+
+	owner := make(map[int]int) // key -> task
+	for task, s := range sinks {
+		for _, m := range s.messages() {
+			key := m.Value.(int) % 10
+			if prev, ok := owner[key]; ok && prev != task {
+				t.Fatalf("key %d delivered to tasks %d and %d", key, prev, task)
+			}
+			owner[key] = task
+		}
+	}
+}
+
+func TestBroadcastDeliversToAll(t *testing.T) {
+	sinks := make([]*sinkBolt, 3)
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(100), 1)
+	b.AddBolt("sink", func(task int) Bolt {
+		sinks[task] = &sinkBolt{}
+		return sinks[task]
+	}, 3).Broadcast("src", "out")
+	runAndDrain(t, b.MustBuild())
+
+	for task, s := range sinks {
+		if n := len(s.messages()); n != 100 {
+			t.Errorf("task %d got %d messages, want 100", task, n)
+		}
+	}
+}
+
+func TestGlobalDeliversToTaskZero(t *testing.T) {
+	sinks := make([]*sinkBolt, 3)
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(50), 1)
+	b.AddBolt("sink", func(task int) Bolt {
+		sinks[task] = &sinkBolt{}
+		return sinks[task]
+	}, 3).Global("src", "out")
+	runAndDrain(t, b.MustBuild())
+
+	if n := len(sinks[0].messages()); n != 50 {
+		t.Errorf("task 0 got %d, want 50", n)
+	}
+	for task := 1; task < 3; task++ {
+		if n := len(sinks[task].messages()); n != 0 {
+			t.Errorf("task %d got %d, want 0", task, n)
+		}
+	}
+}
+
+// routerBolt forwards each int to task (value % parallelism) downstream.
+type routerBolt struct{ downstreamPar int }
+
+func (routerBolt) Prepare(Context, *Collector) {}
+func (b routerBolt) Execute(m Message, out *Collector) {
+	if m.Stream == TickStream {
+		return
+	}
+	v := m.Value.(int)
+	out.EmitDirect("routed", v%b.downstreamPar, v)
+}
+func (routerBolt) Cleanup() {}
+
+func TestDirectGrouping(t *testing.T) {
+	sinks := make([]*sinkBolt, 3)
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(99), 1)
+	b.AddBolt("router", func(int) Bolt { return routerBolt{downstreamPar: 3} }, 1).
+		Shuffle("src", "out")
+	b.AddBolt("sink", func(task int) Bolt {
+		sinks[task] = &sinkBolt{}
+		return sinks[task]
+	}, 3).Direct("router", "routed")
+	runAndDrain(t, b.MustBuild())
+
+	for task, s := range sinks {
+		msgs := s.messages()
+		if len(msgs) != 33 {
+			t.Errorf("task %d got %d, want 33", task, len(msgs))
+		}
+		for _, m := range msgs {
+			if m.Value.(int)%3 != task {
+				t.Errorf("task %d received %d", task, m.Value)
+			}
+		}
+	}
+}
+
+func TestMessageMetadata(t *testing.T) {
+	sink := &sinkBolt{}
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(1), 1)
+	b.AddBolt("sink", func(int) Bolt { return sink }, 1).Shuffle("src", "out")
+	runAndDrain(t, b.MustBuild())
+
+	msgs := sink.messages()
+	if len(msgs) != 1 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	m := msgs[0]
+	if m.FromComp != "src" || m.FromTask != 0 || m.Stream != "out" {
+		t.Errorf("metadata = %+v", m)
+	}
+}
+
+func TestMultiHopPipelineConservation(t *testing.T) {
+	// src -> relay (x2 fanout) -> sink; 500 in, 1000 out.
+	sink := &sinkBolt{}
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(500), 1)
+	b.AddBolt("relay", func(int) Bolt {
+		return execFunc(func(m Message, out *Collector) {
+			out.Emit("dup", m.Value)
+			out.Emit("dup", m.Value)
+		})
+	}, 2).Shuffle("src", "out")
+	b.AddBolt("sink", func(int) Bolt { return sink }, 1).Shuffle("relay", "dup")
+	runAndDrain(t, b.MustBuild())
+
+	if n := len(sink.messages()); n != 1000 {
+		t.Errorf("sink got %d, want 1000", n)
+	}
+}
+
+// execFunc adapts a function to the Bolt interface.
+type execFunc func(Message, *Collector)
+
+func (execFunc) Prepare(Context, *Collector)         {}
+func (f execFunc) Execute(m Message, out *Collector) { f(m, out) }
+func (execFunc) Cleanup()                            {}
+
+func TestEmitOnUnsubscribedStreamIsDropped(t *testing.T) {
+	// Emitting on a stream nobody subscribed to must not wedge the drain.
+	b := NewBuilder()
+	b.AddSpout("src", func(int) Spout {
+		return &listSpout{values: []int{1, 2, 3}}
+	}, 1)
+	b.AddBolt("sink", func(int) Bolt { return &sinkBolt{} }, 1).Shuffle("src", "nosuch")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer c.Stop()
+	if err := c.WaitComplete(5 * time.Second); err != nil {
+		t.Fatalf("WaitComplete: %v", err)
+	}
+}
+
+func TestTickDelivery(t *testing.T) {
+	var ticks atomic.Int64
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(0), 1)
+	b.AddBolt("ticky", func(int) Bolt {
+		return execFunc(func(m Message, _ *Collector) {
+			if m.Stream == TickStream {
+				ticks.Add(1)
+			}
+		})
+	}, 1).Shuffle("src", "out").TickEvery(5 * time.Millisecond)
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := c.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	c.Stop()
+	if got := ticks.Load(); got < 3 {
+		t.Errorf("got %d ticks, want >= 3", got)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	sink := &sinkBolt{}
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(10), 1)
+	b.AddBolt("flaky", func(int) Bolt {
+		return execFunc(func(m Message, out *Collector) {
+			if m.Value.(int) == 3 {
+				panic("injected failure")
+			}
+			out.Emit("ok", m.Value)
+		})
+	}, 1).Shuffle("src", "out")
+	b.AddBolt("sink", func(int) Bolt { return sink }, 1).Shuffle("flaky", "ok")
+	c := runAndDrain(t, b.MustBuild())
+
+	if n := len(sink.messages()); n != 9 {
+		t.Errorf("sink got %d, want 9 (one poisoned message dropped)", n)
+	}
+	stats := c.Stats("flaky")
+	if stats[0].Panics != 1 {
+		t.Errorf("panics = %d, want 1", stats[0].Panics)
+	}
+}
+
+func TestSpoutPanicEndsSpout(t *testing.T) {
+	b := NewBuilder()
+	b.AddSpout("src", func(int) Spout {
+		return panicSpout{}
+	}, 1)
+	b.AddBolt("sink", func(int) Bolt { return &sinkBolt{} }, 1).Shuffle("src", "out")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer c.Stop()
+	if err := c.WaitComplete(5 * time.Second); err != nil {
+		t.Fatalf("WaitComplete after spout panic: %v", err)
+	}
+	if got := c.Stats("src")[0].Panics; got != 1 {
+		t.Errorf("spout panics = %d, want 1", got)
+	}
+}
+
+type panicSpout struct{}
+
+func (panicSpout) Open(Context, *Collector) {}
+func (panicSpout) Next(*Collector) bool     { panic("spout failure") }
+func (panicSpout) Close()                   {}
+
+func TestStatsAndComponents(t *testing.T) {
+	sink := &sinkBolt{}
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(20), 1)
+	b.AddBolt("sink", func(int) Bolt { return sink }, 2).Shuffle("src", "out")
+	c := runAndDrain(t, b.MustBuild())
+
+	stats := c.Stats("sink")
+	if len(stats) != 2 {
+		t.Fatalf("stats len = %d", len(stats))
+	}
+	var processed int64
+	for _, s := range stats {
+		processed += s.Processed
+	}
+	if processed != 20 {
+		t.Errorf("processed = %d, want 20", processed)
+	}
+	if c.Stats("ghost") != nil {
+		t.Error("Stats of unknown component should be nil")
+	}
+	comps := c.Components()
+	if len(comps) != 2 {
+		t.Errorf("components = %v", comps)
+	}
+	src := c.Stats("src")
+	if src[0].Emitted != 20 {
+		t.Errorf("spout emitted = %d, want 20", src[0].Emitted)
+	}
+}
+
+func TestCleanupCalledOnStop(t *testing.T) {
+	sink := &sinkBolt{}
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(5), 1)
+	b.AddBolt("sink", func(int) Bolt { return sink }, 1).Shuffle("src", "out")
+	runAndDrain(t, b.MustBuild())
+	if !sink.cleaned.Load() {
+		t.Error("Cleanup not called on Stop")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(5), 1)
+	b.AddBolt("sink", func(int) Bolt { return &sinkBolt{} }, 1).Shuffle("src", "out")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	c.Stop()
+	c.Stop() // must not panic or deadlock
+}
+
+func TestStopUnblocksBackpressuredSenders(t *testing.T) {
+	// A tiny queue and a slow sink: the spout will block on send; Stop must
+	// still terminate everything.
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(100000), 1)
+	b.AddBolt("slow", func(int) Bolt {
+		return execFunc(func(Message, *Collector) { time.Sleep(time.Millisecond) })
+	}, 1).Shuffle("src", "out")
+	c, err := Submit(b.MustBuild(), Config{QueueSize: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		c.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not unblock backpressured senders")
+	}
+}
+
+func TestControlPriority(t *testing.T) {
+	// A bolt that records the order of arrival: flood data, then send one
+	// control message; the control message must overtake queued data.
+	type record struct {
+		mu    sync.Mutex
+		order []string
+	}
+	rec := &record{}
+	release := make(chan struct{})
+	first := true
+
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(200), 1)
+	b.AddSpout("ctlsrc", func(int) Spout { return &gatedCtrlSpout{gate: release} }, 1)
+	b.AddBolt("op", func(int) Bolt {
+		return execFunc(func(m Message, _ *Collector) {
+			if first {
+				// Hold the first data message until the control message is
+				// queued behind ~199 data messages.
+				first = false
+				<-release
+				time.Sleep(5 * time.Millisecond)
+			}
+			rec.mu.Lock()
+			rec.order = append(rec.order, m.Stream)
+			rec.mu.Unlock()
+		})
+	}, 1).
+		Shuffle("src", "data").
+		GlobalCtrl("ctlsrc", "ctl")
+	runAndDrain(t, b.MustBuild())
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	pos := -1
+	for i, s := range rec.order {
+		if s == "ctl" {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		t.Fatal("control message never delivered")
+	}
+	// The control message must arrive well before the tail of the data.
+	if pos > 20 {
+		t.Errorf("control message arrived at position %d of %d; priority not honored", pos, len(rec.order))
+	}
+}
+
+// gatedCtrlSpout waits briefly, emits one control value, then opens the gate.
+type gatedCtrlSpout struct {
+	gate chan struct{}
+	sent bool
+}
+
+func (s *gatedCtrlSpout) Open(Context, *Collector) {}
+func (s *gatedCtrlSpout) Next(out *Collector) bool {
+	if s.sent {
+		return false
+	}
+	time.Sleep(20 * time.Millisecond) // let data queue fill
+	out.Emit("ctl", "go")
+	close(s.gate)
+	s.sent = true
+	return true
+}
+func (s *gatedCtrlSpout) Close() {}
+
+func TestEmitOnDirectStreamPanics(t *testing.T) {
+	b := NewBuilder()
+	b.AddSpout("src", func(int) Spout { return &badEmitSpout{} }, 1)
+	b.AddBolt("sink", func(int) Bolt { return &sinkBolt{} }, 1).Direct("src", "out")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer c.Stop()
+	if err := c.WaitComplete(5 * time.Second); err != nil {
+		t.Fatalf("WaitComplete: %v", err)
+	}
+	// The bad Emit panicked inside the spout; the panic is isolated.
+	if got := c.Stats("src")[0].Panics; got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+}
+
+type badEmitSpout struct{ done bool }
+
+func (s *badEmitSpout) Open(Context, *Collector) {}
+func (s *badEmitSpout) Next(out *Collector) bool {
+	if s.done {
+		return false
+	}
+	s.done = true
+	out.Emit("out", 1) // wrong: direct stream requires EmitDirect
+	return true
+}
+func (s *badEmitSpout) Close() {}
+
+func TestSubmitNilTopology(t *testing.T) {
+	if _, err := Submit(nil, Config{}); err == nil {
+		t.Error("Submit(nil) should error")
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	// A bolt that never finishes processing: drain must time out, not hang.
+	block := make(chan struct{})
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(10), 1)
+	b.AddBolt("stuck", func(int) Bolt {
+		return execFunc(func(Message, *Collector) { <-block })
+	}, 1).Shuffle("src", "out")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the spout enqueue work first
+	if err := c.Drain(50 * time.Millisecond); err == nil {
+		t.Error("Drain should time out when a bolt is stuck")
+	}
+	close(block)
+	c.Stop()
+}
+
+func TestMultipleSpoutTasks(t *testing.T) {
+	sink := &sinkBolt{}
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(100), 4) // 4 tasks x 100 values
+	b.AddBolt("sink", func(int) Bolt { return sink }, 1).Shuffle("src", "out")
+	runAndDrain(t, b.MustBuild())
+	if n := len(sink.messages()); n != 400 {
+		t.Errorf("sink got %d, want 400", n)
+	}
+}
+
+func TestCollectorContext(t *testing.T) {
+	var mu sync.Mutex
+	var got []Context
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(1), 1)
+	b.AddBolt("op", func(int) Bolt {
+		return prepFunc(func(ctx Context, out *Collector) {
+			mu.Lock()
+			defer mu.Unlock()
+			got = append(got, out.Context())
+		})
+	}, 3).Shuffle("src", "out")
+	runAndDrain(t, b.MustBuild())
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("prepared %d tasks, want 3", len(got))
+	}
+	for _, ctx := range got {
+		if ctx.Component != "op" || ctx.Parallelism != 3 {
+			t.Errorf("collector context = %+v", ctx)
+		}
+	}
+}
+
+// prepFunc is a bolt that only records Prepare.
+type prepFunc func(Context, *Collector)
+
+func (f prepFunc) Prepare(ctx Context, out *Collector) { f(ctx, out) }
+func (prepFunc) Execute(Message, *Collector)           {}
+func (prepFunc) Cleanup()                              {}

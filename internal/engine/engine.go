@@ -1,0 +1,154 @@
+// Package engine is a from-scratch, Storm-like stream processing runtime:
+// the substrate FastJoin runs on, replacing Apache Storm in the paper's
+// implementation (§V).
+//
+// The programming model mirrors Storm's: an application is a Topology of
+// named components — Spouts (sources) and Bolts (operators) — connected by
+// named streams with declarative groupings (shuffle, fields, broadcast,
+// global, direct). Each component runs as a set of parallel tasks; every
+// task is a goroutine with a bounded data queue (providing backpressure,
+// the mechanism behind the paper's load-imbalance dynamics) and a separate
+// control queue that is drained with strict priority, so coordination
+// traffic (load reports, migration commands, routing-table updates) is
+// never stuck behind a full data queue.
+//
+// A LocalCluster executes the topology in-process. It supports cooperative
+// draining with quiescence detection (used by batch-style experiments and
+// the completeness tests), periodic tick messages for bolts, per-task
+// metrics, and panic isolation per task.
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Message is the unit of communication between tasks.
+type Message struct {
+	// FromComp and FromTask identify the producing task. Tick messages
+	// carry the receiving component's own name.
+	FromComp string
+	FromTask int
+	// Stream is the logical stream the message was emitted on; tick
+	// messages use TickStream.
+	Stream string
+	// Value is the payload.
+	Value any
+}
+
+// TickStream is the reserved stream name of periodic tick messages
+// delivered to bolts that declared a tick interval.
+const TickStream = "__tick"
+
+// Context describes the task a spout or bolt instance is running as.
+type Context struct {
+	// Component is the topology-level component name.
+	Component string
+	// Task is the index of this task within the component, in
+	// [0, Parallelism).
+	Task int
+	// Parallelism is the number of tasks of this component.
+	Parallelism int
+}
+
+// String renders "component[task/parallelism]".
+func (c Context) String() string {
+	return fmt.Sprintf("%s[%d/%d]", c.Component, c.Task, c.Parallelism)
+}
+
+// Spout is a stream source. The runtime calls Next repeatedly from the
+// task's goroutine until it returns false (exhausted) or the cluster stops
+// spouts. Next should emit at most a handful of tuples per call and return
+// promptly so that stop requests are honored.
+type Spout interface {
+	// Open is called once before the first Next.
+	Open(ctx Context, out *Collector)
+	// Next emits zero or more values and reports whether the spout may
+	// have more data. Returning false permanently ends the spout.
+	Next(out *Collector) bool
+	// Close is called once after the spout ends or the cluster stops.
+	Close()
+}
+
+// Bolt is a stream operator. Execute is called from the task's single
+// goroutine, so bolt state needs no synchronization.
+type Bolt interface {
+	// Prepare is called once before the first Execute.
+	Prepare(ctx Context, out *Collector)
+	// Execute processes one input message (possibly emitting downstream).
+	Execute(m Message, out *Collector)
+	// Cleanup is called once when the cluster stops.
+	Cleanup()
+}
+
+// SpoutFactory builds the spout instance for one task.
+type SpoutFactory func(task int) Spout
+
+// BoltFactory builds the bolt instance for one task.
+type BoltFactory func(task int) Bolt
+
+// KeyFunc extracts the partitioning key of a value for fields grouping.
+type KeyFunc func(value any) uint64
+
+// groupKind enumerates the supported stream groupings.
+type groupKind uint8
+
+const (
+	groupShuffle groupKind = iota
+	groupFields
+	groupBroadcast
+	groupGlobal
+	groupDirect
+)
+
+func (k groupKind) String() string {
+	switch k {
+	case groupShuffle:
+		return "shuffle"
+	case groupFields:
+		return "fields"
+	case groupBroadcast:
+		return "broadcast"
+	case groupGlobal:
+		return "global"
+	case groupDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("groupKind(%d)", uint8(k))
+	}
+}
+
+// Config tunes the local cluster.
+type Config struct {
+	// QueueSize is the capacity of each task's data queue (default 1024).
+	// Small queues tighten backpressure; the FastJoin experiments rely on
+	// bounded queues to reproduce the paper's congestion behaviour.
+	QueueSize int
+	// CtrlQueueSize is the capacity of each task's control queue
+	// (default 4096).
+	CtrlQueueSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.CtrlQueueSize <= 0 {
+		c.CtrlQueueSize = 4096
+	}
+	return c
+}
+
+// TaskStats is a point-in-time view of one task's activity.
+type TaskStats struct {
+	Component string `json:"component"`
+	Task      int    `json:"task"`
+	Processed int64  `json:"processed"`
+	Emitted   int64  `json:"emitted"`
+	Panics    int64  `json:"panics"`
+	QueueLen  int    `json:"queue_len"`
+	CtrlLen   int    `json:"ctrl_len"`
+}
+
+// DefaultDrainTimeout bounds how long Drain waits for quiescence.
+const DefaultDrainTimeout = 30 * time.Second

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPendingZeroAfterWaitComplete(t *testing.T) {
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(200), 2)
+	b.AddBolt("sink", func(int) Bolt { return &sinkBolt{} }, 2).Shuffle("src", "out")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer c.Stop()
+	if err := c.WaitComplete(10 * time.Second); err != nil {
+		t.Fatalf("WaitComplete: %v", err)
+	}
+	if got := c.Pending(); got != 0 {
+		t.Errorf("Pending = %d after WaitComplete", got)
+	}
+}
+
+func TestTicksStopAfterDrain(t *testing.T) {
+	var ticks atomic.Int64
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(0), 1)
+	b.AddBolt("ticky", func(int) Bolt {
+		return execFunc(func(m Message, _ *Collector) {
+			if m.Stream == TickStream {
+				ticks.Add(1)
+			}
+		})
+	}, 1).Shuffle("src", "out").TickEvery(3 * time.Millisecond)
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := c.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	after := ticks.Load()
+	time.Sleep(30 * time.Millisecond)
+	if got := ticks.Load(); got != after {
+		t.Errorf("ticks continued after Drain: %d -> %d", after, got)
+	}
+	c.Stop()
+}
+
+func TestSmallQueueBackpressure(t *testing.T) {
+	// With a 1-slot queue and a slow consumer, the spout cannot run ahead:
+	// in-flight messages stay bounded by the queue depth plus one being
+	// processed per stage.
+	var maxPending int64
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(50), 1)
+	b.AddBolt("slow", func(int) Bolt {
+		return execFunc(func(Message, *Collector) { time.Sleep(time.Millisecond) })
+	}, 1).Shuffle("src", "out")
+	c, err := Submit(b.MustBuild(), Config{QueueSize: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-time.After(200 * time.Microsecond):
+				if p := c.Pending(); p > maxPending {
+					maxPending = p
+				}
+			case <-time.After(5 * time.Second):
+				return
+			}
+			if c.Pending() == 0 && c.spoutsLive.Load() == 0 {
+				return
+			}
+		}
+	}()
+	if err := c.WaitComplete(10 * time.Second); err != nil {
+		t.Fatalf("WaitComplete: %v", err)
+	}
+	c.Stop()
+	<-done
+	if maxPending > 4 {
+		t.Errorf("max pending = %d with queue size 1; backpressure leak", maxPending)
+	}
+}
+
+func TestWaitCompleteIdempotent(t *testing.T) {
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(10), 1)
+	b.AddBolt("sink", func(int) Bolt { return &sinkBolt{} }, 1).Shuffle("src", "out")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer c.Stop()
+	for i := 0; i < 3; i++ {
+		if err := c.WaitComplete(5 * time.Second); err != nil {
+			t.Fatalf("WaitComplete #%d: %v", i, err)
+		}
+	}
+}
+
+func TestDrainAfterWaitComplete(t *testing.T) {
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(10), 1)
+	b.AddBolt("sink", func(int) Bolt { return &sinkBolt{} }, 1).Shuffle("src", "out")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer c.Stop()
+	if err := c.WaitComplete(5 * time.Second); err != nil {
+		t.Fatalf("WaitComplete: %v", err)
+	}
+	if err := c.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain after WaitComplete: %v", err)
+	}
+}
+
+func TestSelfLoopComponent(t *testing.T) {
+	// A bolt subscribed to itself (the joiner migration pattern): messages
+	// on the self stream must be delivered and drain must still settle.
+	type relayMsg struct{ hops int }
+	sink := &sinkBolt{}
+	b := NewBuilder()
+	b.AddSpout("src", func(int) Spout { return &listSpout{values: []int{3}} }, 1)
+	b.AddBolt("loop", func(int) Bolt {
+		return execFunc(func(m Message, out *Collector) {
+			switch v := m.Value.(type) {
+			case int:
+				out.EmitDirect("self", 0, relayMsg{hops: v})
+			case relayMsg:
+				if v.hops > 0 {
+					out.EmitDirect("self", 0, relayMsg{hops: v.hops - 1})
+				} else {
+					out.Emit("done", "finished")
+				}
+			}
+		})
+	}, 1).
+		Shuffle("src", "out").
+		DirectCtrl("loop", "self")
+	b.AddBolt("sink", func(int) Bolt { return sink }, 1).Shuffle("loop", "done")
+	c, err := Submit(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer c.Stop()
+	if err := c.WaitComplete(5 * time.Second); err != nil {
+		t.Fatalf("WaitComplete with self-loop: %v", err)
+	}
+	if n := len(sink.messages()); n != 1 {
+		t.Errorf("sink got %d, want 1", n)
+	}
+}
+
+func TestManyComponentsLargeTopology(t *testing.T) {
+	// A wider topology: 4 spouts -> 8 relays -> 8 sinks; conservation must
+	// hold across the fan.
+	sinks := make([]*sinkBolt, 8)
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(100), 4)
+	b.AddBolt("relay", func(int) Bolt {
+		return execFunc(func(m Message, out *Collector) { out.Emit("fwd", m.Value) })
+	}, 8).Shuffle("src", "out")
+	b.AddBolt("sink", func(task int) Bolt {
+		sinks[task] = &sinkBolt{}
+		return sinks[task]
+	}, 8).Fields("relay", "fwd", func(v any) uint64 { return uint64(v.(int)) })
+	runAndDrain(t, b.MustBuild())
+	total := 0
+	for _, s := range sinks {
+		total += len(s.messages())
+	}
+	if total != 400 {
+		t.Errorf("total = %d, want 400", total)
+	}
+}

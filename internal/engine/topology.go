@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology is an immutable description of a dataflow: spouts, bolts and the
+// subscriptions between them. Build one with NewBuilder and submit it to a
+// LocalCluster.
+type Topology struct {
+	spouts []*spoutDecl
+	bolts  []*boltDecl
+	names  map[string]bool
+}
+
+type spoutDecl struct {
+	name        string
+	factory     SpoutFactory
+	parallelism int
+}
+
+type boltDecl struct {
+	name        string
+	factory     BoltFactory
+	parallelism int
+	tickEvery   time.Duration
+	subs        []subDecl
+}
+
+type subDecl struct {
+	source  string // component name
+	stream  string
+	kind    groupKind
+	keyFn   KeyFunc
+	control bool
+}
+
+// Builder assembles a Topology.
+type Builder struct {
+	t    *Topology
+	errs []error
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{t: &Topology{names: make(map[string]bool)}}
+}
+
+// AddSpout declares a spout component with the given parallelism.
+func (b *Builder) AddSpout(name string, factory SpoutFactory, parallelism int) *Builder {
+	if err := b.checkComponent(name, parallelism); err != nil {
+		b.errs = append(b.errs, err)
+		return b
+	}
+	if factory == nil {
+		b.errs = append(b.errs, fmt.Errorf("engine: spout %q has nil factory", name))
+		return b
+	}
+	b.t.names[name] = true
+	b.t.spouts = append(b.t.spouts, &spoutDecl{name: name, factory: factory, parallelism: parallelism})
+	return b
+}
+
+// AddBolt declares a bolt component with the given parallelism and returns
+// a BoltBuilder to attach subscriptions.
+func (b *Builder) AddBolt(name string, factory BoltFactory, parallelism int) *BoltBuilder {
+	d := &boltDecl{name: name, factory: factory, parallelism: parallelism}
+	if err := b.checkComponent(name, parallelism); err != nil {
+		b.errs = append(b.errs, err)
+		return &BoltBuilder{b: b, d: d}
+	}
+	if factory == nil {
+		b.errs = append(b.errs, fmt.Errorf("engine: bolt %q has nil factory", name))
+		return &BoltBuilder{b: b, d: d}
+	}
+	b.t.names[name] = true
+	b.t.bolts = append(b.t.bolts, d)
+	return &BoltBuilder{b: b, d: d}
+}
+
+func (b *Builder) checkComponent(name string, parallelism int) error {
+	if name == "" {
+		return fmt.Errorf("engine: component name must not be empty")
+	}
+	if b.t.names[name] {
+		return fmt.Errorf("engine: duplicate component name %q", name)
+	}
+	if parallelism <= 0 {
+		return fmt.Errorf("engine: component %q parallelism must be > 0", name)
+	}
+	return nil
+}
+
+// Build validates the topology and returns it.
+func (b *Builder) Build() (*Topology, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	// Every subscription must reference a declared component; direct and
+	// non-direct subscriptions must not share a (source, stream) pair,
+	// because EmitDirect and Emit have incompatible routing.
+	kindBy := make(map[string]bool) // "src/stream" -> isDirect
+	seen := make(map[string]bool)
+	for _, bolt := range b.t.bolts {
+		for _, sub := range bolt.subs {
+			if !b.t.names[sub.source] {
+				return nil, fmt.Errorf("engine: bolt %q subscribes to unknown component %q", bolt.name, sub.source)
+			}
+			if sub.stream == "" || sub.stream == TickStream {
+				return nil, fmt.Errorf("engine: bolt %q subscribes to invalid stream %q", bolt.name, sub.stream)
+			}
+			if sub.kind == groupFields && sub.keyFn == nil {
+				return nil, fmt.Errorf("engine: bolt %q fields-subscription on %q/%q has nil key function", bolt.name, sub.source, sub.stream)
+			}
+			id := sub.source + "/" + sub.stream
+			isDirect := sub.kind == groupDirect
+			if prev, ok := kindBy[id]; ok && prev != isDirect {
+				return nil, fmt.Errorf("engine: stream %s mixes direct and non-direct subscriptions", id)
+			}
+			kindBy[id] = isDirect
+			seen[id] = true
+		}
+	}
+	if len(b.t.spouts) == 0 {
+		return nil, fmt.Errorf("engine: topology has no spouts")
+	}
+	return b.t, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func (b *Builder) MustBuild() *Topology {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BoltBuilder attaches subscriptions and options to a bolt declaration.
+type BoltBuilder struct {
+	b *Builder
+	d *boltDecl
+}
+
+func (bb *BoltBuilder) sub(source, stream string, kind groupKind, keyFn KeyFunc, control bool) *BoltBuilder {
+	bb.d.subs = append(bb.d.subs, subDecl{
+		source: source, stream: stream, kind: kind, keyFn: keyFn, control: control,
+	})
+	return bb
+}
+
+// Shuffle subscribes to (source, stream) with round-robin distribution.
+func (bb *BoltBuilder) Shuffle(source, stream string) *BoltBuilder {
+	return bb.sub(source, stream, groupShuffle, nil, false)
+}
+
+// Fields subscribes with key-hash distribution: values with equal keys go
+// to the same task.
+func (bb *BoltBuilder) Fields(source, stream string, keyFn KeyFunc) *BoltBuilder {
+	return bb.sub(source, stream, groupFields, keyFn, false)
+}
+
+// Broadcast subscribes with replication to every task.
+func (bb *BoltBuilder) Broadcast(source, stream string) *BoltBuilder {
+	return bb.sub(source, stream, groupBroadcast, nil, false)
+}
+
+// Global subscribes with delivery to task 0 only.
+func (bb *BoltBuilder) Global(source, stream string) *BoltBuilder {
+	return bb.sub(source, stream, groupGlobal, nil, false)
+}
+
+// Direct subscribes with emitter-chosen task delivery; the emitter must use
+// Collector.EmitDirect on this stream.
+func (bb *BoltBuilder) Direct(source, stream string) *BoltBuilder {
+	return bb.sub(source, stream, groupDirect, nil, false)
+}
+
+// GlobalCtrl is Global delivered on the control queue (priority lane).
+func (bb *BoltBuilder) GlobalCtrl(source, stream string) *BoltBuilder {
+	return bb.sub(source, stream, groupGlobal, nil, true)
+}
+
+// BroadcastCtrl is Broadcast delivered on the control queue.
+func (bb *BoltBuilder) BroadcastCtrl(source, stream string) *BoltBuilder {
+	return bb.sub(source, stream, groupBroadcast, nil, true)
+}
+
+// DirectCtrl is Direct delivered on the control queue.
+func (bb *BoltBuilder) DirectCtrl(source, stream string) *BoltBuilder {
+	return bb.sub(source, stream, groupDirect, nil, true)
+}
+
+// TickEvery asks the runtime to deliver a tick message (stream TickStream)
+// to every task of this bolt at the given interval. Ticks stop when the
+// cluster begins draining.
+func (bb *BoltBuilder) TickEvery(d time.Duration) *BoltBuilder {
+	bb.d.tickEvery = d
+	return bb
+}
+
+// Done returns the parent builder for declaring further components.
+func (bb *BoltBuilder) Done() *Builder { return bb.b }

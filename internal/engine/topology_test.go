@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// nopSpout emits nothing and ends immediately.
+type nopSpout struct{}
+
+func (nopSpout) Open(Context, *Collector) {}
+func (nopSpout) Next(*Collector) bool     { return false }
+func (nopSpout) Close()                   {}
+
+// nopBolt discards everything.
+type nopBolt struct{}
+
+func (nopBolt) Prepare(Context, *Collector) {}
+func (nopBolt) Execute(Message, *Collector) {}
+func (nopBolt) Cleanup()                    {}
+
+func nopSpoutFactory(int) Spout { return nopSpout{} }
+func nopBoltFactory(int) Bolt   { return nopBolt{} }
+
+func TestBuilderHappyPath(t *testing.T) {
+	b := NewBuilder()
+	b.AddSpout("src", nopSpoutFactory, 2)
+	b.AddBolt("op", nopBoltFactory, 3).
+		Shuffle("src", "default").
+		TickEvery(time.Second)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(topo.spouts) != 1 || len(topo.bolts) != 1 {
+		t.Errorf("spouts=%d bolts=%d", len(topo.spouts), len(topo.bolts))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func() (*Topology, error)
+		wantSub string
+	}{
+		{
+			"empty name",
+			func() (*Topology, error) {
+				return NewBuilder().AddSpout("", nopSpoutFactory, 1).Build()
+			},
+			"must not be empty",
+		},
+		{
+			"duplicate name",
+			func() (*Topology, error) {
+				b := NewBuilder()
+				b.AddSpout("x", nopSpoutFactory, 1)
+				b.AddBolt("x", nopBoltFactory, 1)
+				return b.Build()
+			},
+			"duplicate",
+		},
+		{
+			"zero parallelism",
+			func() (*Topology, error) {
+				return NewBuilder().AddSpout("x", nopSpoutFactory, 0).Build()
+			},
+			"parallelism",
+		},
+		{
+			"nil spout factory",
+			func() (*Topology, error) {
+				return NewBuilder().AddSpout("x", nil, 1).Build()
+			},
+			"nil factory",
+		},
+		{
+			"nil bolt factory",
+			func() (*Topology, error) {
+				b := NewBuilder()
+				b.AddSpout("s", nopSpoutFactory, 1)
+				b.AddBolt("x", nil, 1)
+				return b.Build()
+			},
+			"nil factory",
+		},
+		{
+			"unknown source",
+			func() (*Topology, error) {
+				b := NewBuilder()
+				b.AddSpout("s", nopSpoutFactory, 1)
+				b.AddBolt("op", nopBoltFactory, 1).Shuffle("ghost", "default")
+				return b.Build()
+			},
+			"unknown component",
+		},
+		{
+			"tick stream subscription",
+			func() (*Topology, error) {
+				b := NewBuilder()
+				b.AddSpout("s", nopSpoutFactory, 1)
+				b.AddBolt("op", nopBoltFactory, 1).Shuffle("s", TickStream)
+				return b.Build()
+			},
+			"invalid stream",
+		},
+		{
+			"nil fields key function",
+			func() (*Topology, error) {
+				b := NewBuilder()
+				b.AddSpout("s", nopSpoutFactory, 1)
+				b.AddBolt("op", nopBoltFactory, 1).Fields("s", "default", nil)
+				return b.Build()
+			},
+			"nil key function",
+		},
+		{
+			"mixed direct and non-direct",
+			func() (*Topology, error) {
+				b := NewBuilder()
+				b.AddSpout("s", nopSpoutFactory, 1)
+				b.AddBolt("a", nopBoltFactory, 1).Direct("s", "default")
+				b.AddBolt("b", nopBoltFactory, 1).Shuffle("s", "default")
+				return b.Build()
+			},
+			"mixes direct",
+		},
+		{
+			"no spouts",
+			func() (*Topology, error) {
+				b := NewBuilder()
+				b.AddBolt("op", nopBoltFactory, 1)
+				return b.Build()
+			},
+			"no spouts",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid topology")
+		}
+	}()
+	NewBuilder().MustBuild()
+}
+
+func TestContextString(t *testing.T) {
+	ctx := Context{Component: "joiner", Task: 2, Parallelism: 8}
+	if got, want := ctx.String(), "joiner[2/8]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGroupKindString(t *testing.T) {
+	kinds := map[groupKind]string{
+		groupShuffle:   "shuffle",
+		groupFields:    "fields",
+		groupBroadcast: "broadcast",
+		groupGlobal:    "global",
+		groupDirect:    "direct",
+		groupKind(99):  "groupKind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.QueueSize != 1024 || cfg.CtrlQueueSize != 4096 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	cfg = Config{QueueSize: 7, CtrlQueueSize: 9}.withDefaults()
+	if cfg.QueueSize != 7 || cfg.CtrlQueueSize != 9 {
+		t.Errorf("explicit config overridden: %+v", cfg)
+	}
+}

@@ -1,0 +1,258 @@
+// Package metrics implements the measurement primitives used throughout
+// FastJoin: atomic counters and gauges, exponentially weighted rates,
+// logarithmic latency histograms and time series.
+//
+// These back the three quantities the paper evaluates — system throughput
+// (final result tuples per second), average processing latency, and the
+// real-time degree of load imbalance — as well as the per-instance load
+// statistics (|R_i|, φ_si) that the monitoring component aggregates.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be non-negative) to the counter.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Meter converts a counter into interval rates: each call to TickRate
+// returns the events per second since the previous call.
+type Meter struct {
+	count Counter
+
+	mu       sync.Mutex
+	lastTick time.Time
+	lastVal  int64
+}
+
+// NewMeter returns a meter whose first interval starts now.
+func NewMeter() *Meter {
+	return &Meter{lastTick: time.Now()}
+}
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.count.Add(n) }
+
+// Count returns the total number of events recorded.
+func (m *Meter) Count() int64 { return m.count.Value() }
+
+// TickRate returns the rate (events/second) accumulated since the last call
+// (or since construction) and starts a new interval.
+func (m *Meter) TickRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	cur := m.count.Value()
+	dt := now.Sub(m.lastTick).Seconds()
+	var rate float64
+	if dt > 0 {
+		rate = float64(cur-m.lastVal) / dt
+	}
+	m.lastTick = now
+	m.lastVal = cur
+	return rate
+}
+
+// EWMA is an exponentially weighted moving average with a configurable
+// smoothing factor alpha in (0, 1]. Higher alpha weights recent samples more.
+// It is safe for concurrent use.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("metrics: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds a new sample into the average.
+func (e *EWMA) Update(sample float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.init {
+		e.value = sample
+		e.init = true
+		return
+	}
+	e.value = e.alpha*sample + (1-e.alpha)*e.value
+}
+
+// Value returns the current average (zero before any update).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// histBuckets is the number of logarithmic buckets in a Histogram. Bucket i
+// covers durations in [2^i, 2^(i+1)) microseconds-scale units; with 64
+// buckets any int64 nanosecond duration fits.
+const histBuckets = 64
+
+// Histogram records int64 samples (typically nanosecond latencies) in
+// power-of-two buckets. It keeps exact totals for the mean and approximate
+// quantiles from the bucket boundaries. Safe for concurrent use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketFor returns the bucket index for a sample.
+func bucketFor(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 63 - bits.LeadingZeros64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the exact mean of all samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1])
+// from the bucket boundaries. The estimate is exact to within a factor of 2.
+func (h *Histogram) Quantile(q float64) int64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return int64(1) << uint(i+1) // upper bound of bucket i
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot captures the histogram's summary statistics at a point in time.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}

@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("new counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) should panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestMeterCountAndRate(t *testing.T) {
+	m := NewMeter()
+	m.Mark(100)
+	if m.Count() != 100 {
+		t.Fatalf("count = %d, want 100", m.Count())
+	}
+	time.Sleep(20 * time.Millisecond)
+	rate := m.TickRate()
+	if rate <= 0 {
+		t.Errorf("rate = %f, want > 0", rate)
+	}
+	// Second tick with no events should be ~0.
+	time.Sleep(5 * time.Millisecond)
+	if r2 := m.TickRate(); r2 != 0 {
+		t.Errorf("idle rate = %f, want 0", r2)
+	}
+}
+
+func TestEWMAFirstSample(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatalf("initial value = %f, want 0", e.Value())
+	}
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Errorf("after first sample = %f, want 10", e.Value())
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Update(10)
+	e.Update(20)
+	if got := e.Value(); got != 15 {
+		t.Errorf("value = %f, want 15", got)
+	}
+}
+
+func TestEWMAAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%f) should panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.3)
+	for i := 0; i < 200; i++ {
+		e.Update(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Errorf("value = %f, want 42", e.Value())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{10, 20, 30} {
+		h.Observe(v)
+	}
+	if h.Mean() != 20 {
+		t.Errorf("mean = %f, want 20", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 30 {
+		t.Errorf("min/max = %d/%d, want 10/30", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	p50 := h.Quantile(0.5)
+	// Bucket estimate is exact within a factor of 2.
+	if p50 < 500 || p50 > 1024 {
+		t.Errorf("p50 = %d, want in [500, 1024]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 990 || p99 > 2048 {
+		t.Errorf("p99 = %d, want in [990, 2048]", p99)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(0); i < 500; i++ {
+		h.Observe(i * 7 % 1000)
+	}
+	f := func(a, b float64) bool {
+		qa, qb := math.Abs(a), math.Abs(b)
+		qa, qb = qa-math.Floor(qa), qb-math.Floor(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramNonPositiveSamples(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+	if h.Min() != -5 {
+		t.Errorf("min = %d, want -5", h.Min())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("snapshot count = %d, want 100", s.Count)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("snapshot mean = %f, want 50.5", s.Mean)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not ordered: %d %d %d", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := int64(0); j < 1000; j++ {
+				h.Observe(base + j)
+			}
+		}(int64(i) * 1000)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 3999 {
+		t.Errorf("min/max = %d/%d, want 0/3999", h.Min(), h.Max())
+	}
+}
+
+func TestBucketForBoundaries(t *testing.T) {
+	tests := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {-1, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1 << 40, 40},
+	}
+	for _, tt := range tests {
+		if got := bucketFor(tt.v); got != tt.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}

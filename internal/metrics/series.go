@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one sample of a time series: a value observed at an instant.
+type Point struct {
+	At    time.Time `json:"at"`
+	Value float64   `json:"value"`
+}
+
+// TimeSeries is an append-only, concurrency-safe sequence of points. The
+// bench harness uses it to record the real-time throughput, latency and
+// load-imbalance curves of Figures 1(c)(d), 3, 4 and 11.
+type TimeSeries struct {
+	mu     sync.Mutex
+	points []Point
+}
+
+// Append records a value at time t.
+func (ts *TimeSeries) Append(t time.Time, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.points = append(ts.points, Point{At: t, Value: v})
+}
+
+// AppendNow records a value at the current time.
+func (ts *TimeSeries) AppendNow(v float64) { ts.Append(time.Now(), v) }
+
+// Points returns a copy of all recorded points in insertion order.
+func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Point, len(ts.points))
+	copy(out, ts.points)
+	return out
+}
+
+// Len returns the number of recorded points.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.points)
+}
+
+// Values returns just the values of all points, in order.
+func (ts *TimeSeries) Values() []float64 {
+	pts := ts.Points()
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Mean returns the mean of all recorded values (0 when empty).
+func (ts *TimeSeries) Mean() float64 {
+	vals := ts.Values()
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (ts *TimeSeries) Max() float64 {
+	vals := ts.Values()
+	var max float64
+	for i, v := range vals {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// TailMean returns the mean of the last frac (0,1] of the points. Experiments
+// use it to discard warm-up transients, mirroring the paper's practice of
+// recording "the stable statistics after the application runs for a while".
+func (ts *TimeSeries) TailMean(frac float64) float64 {
+	if frac <= 0 || frac > 1 {
+		panic("metrics: TailMean frac must be in (0, 1]")
+	}
+	vals := ts.Values()
+	if len(vals) == 0 {
+		return 0
+	}
+	start := len(vals) - int(float64(len(vals))*frac)
+	if start >= len(vals) {
+		start = len(vals) - 1
+	}
+	var sum float64
+	for _, v := range vals[start:] {
+		sum += v
+	}
+	return sum / float64(len(vals)-start)
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs (0 when empty). It does not modify xs.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Stddev returns the population standard deviation of xs (0 when empty).
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

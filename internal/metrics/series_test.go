@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesAppendAndPoints(t *testing.T) {
+	var ts TimeSeries
+	t0 := time.Now()
+	ts.Append(t0, 1)
+	ts.Append(t0.Add(time.Second), 2)
+	pts := ts.Points()
+	if len(pts) != 2 {
+		t.Fatalf("len = %d, want 2", len(pts))
+	}
+	if pts[0].Value != 1 || pts[1].Value != 2 {
+		t.Errorf("values = %v", pts)
+	}
+	if ts.Len() != 2 {
+		t.Errorf("Len = %d, want 2", ts.Len())
+	}
+}
+
+func TestTimeSeriesPointsIsCopy(t *testing.T) {
+	var ts TimeSeries
+	ts.AppendNow(1)
+	pts := ts.Points()
+	pts[0].Value = 99
+	if ts.Points()[0].Value != 1 {
+		t.Error("Points() must return a copy")
+	}
+}
+
+func TestTimeSeriesStats(t *testing.T) {
+	var ts TimeSeries
+	for _, v := range []float64{1, 2, 3, 4} {
+		ts.AppendNow(v)
+	}
+	if ts.Mean() != 2.5 {
+		t.Errorf("mean = %f, want 2.5", ts.Mean())
+	}
+	if ts.Max() != 4 {
+		t.Errorf("max = %f, want 4", ts.Max())
+	}
+}
+
+func TestTimeSeriesEmptyStats(t *testing.T) {
+	var ts TimeSeries
+	if ts.Mean() != 0 || ts.Max() != 0 {
+		t.Error("empty series stats should be 0")
+	}
+}
+
+func TestTimeSeriesTailMean(t *testing.T) {
+	var ts TimeSeries
+	for _, v := range []float64{100, 100, 2, 4} {
+		ts.AppendNow(v)
+	}
+	if got := ts.TailMean(0.5); got != 3 {
+		t.Errorf("TailMean(0.5) = %f, want 3", got)
+	}
+	if got := ts.TailMean(1.0); got != 51.5 {
+		t.Errorf("TailMean(1.0) = %f, want 51.5", got)
+	}
+}
+
+func TestTimeSeriesTailMeanValidation(t *testing.T) {
+	var ts TimeSeries
+	for _, frac := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TailMean(%f) should panic", frac)
+				}
+			}()
+			ts.TailMean(frac)
+		}()
+	}
+}
+
+func TestTimeSeriesTailMeanSinglePoint(t *testing.T) {
+	var ts TimeSeries
+	ts.AppendNow(7)
+	// Tiny fraction still averages at least the last point.
+	if got := ts.TailMean(0.01); got != 7 {
+		t.Errorf("TailMean = %f, want 7", got)
+	}
+}
+
+func TestTimeSeriesConcurrent(t *testing.T) {
+	var ts TimeSeries
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ts.AppendNow(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if ts.Len() != 800 {
+		t.Errorf("len = %d, want 800", ts.Len())
+	}
+}
+
+func TestMeanMedianStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %f, want 5", got)
+	}
+	if got := Stddev(xs); got != 2 {
+		t.Errorf("Stddev = %f, want 2", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %f, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("Median even = %f, want 2.5", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestStatsEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Error("empty-input stats should be 0")
+	}
+}
+
+func TestStddevConstant(t *testing.T) {
+	xs := []float64{5, 5, 5, 5}
+	if got := Stddev(xs); math.Abs(got) > 1e-12 {
+		t.Errorf("Stddev of constants = %f, want 0", got)
+	}
+}

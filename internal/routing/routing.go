@@ -1,0 +1,166 @@
+// Package routing implements the dispatcher's partitioning strategies,
+// shared by the live runtime (package biclique) and the discrete-event
+// simulator (package sim): key-hash partitioning with a mutable per-side
+// routing table (the strategy FastJoin's migration rewrites), BiStream's
+// ContRand hybrid, and the random/broadcast baseline.
+package routing
+
+import (
+	"math/rand"
+
+	"fastjoin/internal/stream"
+	"fastjoin/internal/xhash"
+)
+
+// Router decides where a tuple is stored and where it probes. A Router
+// belongs to one dispatcher task; it is not safe for concurrent use.
+type Router interface {
+	// StoreTarget returns the instance (within the tuple's own side group)
+	// that stores the tuple.
+	StoreTarget(side stream.Side, key stream.Key) int
+	// ProbeTargets appends to buf the instances (within the given side
+	// group) a tuple of the opposite stream must probe, returning the
+	// extended buffer.
+	ProbeTargets(side stream.Side, key stream.Key, buf []int) []int
+	// ApplyUpdate records a key ownership change for one side. Only the
+	// hash router honors it; static strategies ignore updates.
+	ApplyUpdate(side stream.Side, keys []stream.Key, newOwner int)
+}
+
+// Hash is key-hash partitioning with a per-side routing table. Both the
+// store location of side X's tuples and the probe location of the opposite
+// stream's tuples follow the same owner map, so migrating a key moves its
+// storage and its probe traffic together — the property the load model
+// L_i = |R_i| * φ_si builds on. The two sides hash with different seeds so
+// a hot key's R-store and S-store land on different instance indexes.
+type Hash struct {
+	n     int
+	seed  uint64
+	route [2]map[stream.Key]int
+}
+
+// NewHash returns a hash router over n instances per side.
+func NewHash(n int, seed uint64) *Hash {
+	return &Hash{
+		n:    n,
+		seed: seed,
+		route: [2]map[stream.Key]int{
+			make(map[stream.Key]int),
+			make(map[stream.Key]int),
+		},
+	}
+}
+
+// Owner returns the current owner of a key within a side group.
+func (r *Hash) Owner(side stream.Side, key stream.Key) int {
+	if o, ok := r.route[side][key]; ok {
+		return o
+	}
+	return xhash.SeededPartition(key, r.seed^(uint64(side)+1)*0x9e3779b9, r.n)
+}
+
+// StoreTarget implements Router.
+func (r *Hash) StoreTarget(side stream.Side, key stream.Key) int {
+	return r.Owner(side, key)
+}
+
+// ProbeTargets implements Router.
+func (r *Hash) ProbeTargets(side stream.Side, key stream.Key, buf []int) []int {
+	return append(buf, r.Owner(side, key))
+}
+
+// ApplyUpdate implements Router.
+func (r *Hash) ApplyUpdate(side stream.Side, keys []stream.Key, newOwner int) {
+	for _, k := range keys {
+		r.route[side][k] = newOwner
+	}
+}
+
+// Overrides returns how many keys of a side have been re-routed away from
+// their hash home (diagnostics).
+func (r *Hash) Overrides(side stream.Side) int { return len(r.route[side]) }
+
+// ContRand implements BiStream's hybrid routing: the key space is hashed
+// onto subgroups of g instances; a tuple is stored on a random member of
+// its key's subgroup, and probes broadcast to the whole subgroup.
+type ContRand struct {
+	n    int
+	g    int
+	seed uint64
+	rng  *rand.Rand
+}
+
+// NewContRand returns a ContRand router (subgroup size g, clamped to
+// [1, n]); salt decorrelates the random store choice across dispatcher
+// tasks.
+func NewContRand(n, g int, seed uint64, salt int) *ContRand {
+	if g < 1 {
+		g = 1
+	}
+	if g > n {
+		g = n
+	}
+	return &ContRand{
+		n: n, g: g, seed: seed,
+		rng: rand.New(rand.NewSource(int64(seed) ^ int64(salt)<<17 ^ 0x7f4a7c15)),
+	}
+}
+
+// Members returns the half-open instance range of the key's subgroup.
+func (r *ContRand) Members(side stream.Side, key stream.Key) (lo, hi int) {
+	groups := (r.n + r.g - 1) / r.g
+	g := xhash.SeededPartition(key, r.seed^uint64(side+1)*0x9e37, groups)
+	lo = g * r.g
+	hi = lo + r.g
+	if hi > r.n {
+		hi = r.n
+	}
+	return lo, hi
+}
+
+// StoreTarget implements Router.
+func (r *ContRand) StoreTarget(side stream.Side, key stream.Key) int {
+	lo, hi := r.Members(side, key)
+	return lo + r.rng.Intn(hi-lo)
+}
+
+// ProbeTargets implements Router.
+func (r *ContRand) ProbeTargets(side stream.Side, key stream.Key, buf []int) []int {
+	lo, hi := r.Members(side, key)
+	for i := lo; i < hi; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// ApplyUpdate implements Router (no-op: ContRand is static).
+func (r *ContRand) ApplyUpdate(stream.Side, []stream.Key, int) {}
+
+// Random is the random-partitioning baseline: store anywhere, probe
+// everywhere.
+type Random struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewRandom returns a random router; salt decorrelates dispatcher tasks.
+func NewRandom(n int, seed uint64, salt int) *Random {
+	return &Random{
+		n:   n,
+		rng: rand.New(rand.NewSource(int64(seed) ^ int64(salt)<<21 ^ 0x51afd7ed)),
+	}
+}
+
+// StoreTarget implements Router.
+func (r *Random) StoreTarget(stream.Side, stream.Key) int { return r.rng.Intn(r.n) }
+
+// ProbeTargets implements Router.
+func (r *Random) ProbeTargets(_ stream.Side, _ stream.Key, buf []int) []int {
+	for i := 0; i < r.n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// ApplyUpdate implements Router (no-op).
+func (r *Random) ApplyUpdate(stream.Side, []stream.Key, int) {}

@@ -1,0 +1,224 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastjoin/internal/stream"
+)
+
+func TestHashConsistentOwnership(t *testing.T) {
+	r := NewHash(8, 7)
+	for key := stream.Key(0); key < 100; key++ {
+		store := r.StoreTarget(stream.R, key)
+		probe := r.ProbeTargets(stream.R, key, nil)
+		if len(probe) != 1 {
+			t.Fatalf("hash probe fan-out = %d, want 1", len(probe))
+		}
+		// Stores of side R and probes against side R agree on the owner —
+		// the invariant behind L_i = |R_i| * φ_si.
+		if probe[0] != store {
+			t.Fatalf("key %d: store at %d but probe at %d", key, store, probe[0])
+		}
+		if store < 0 || store >= 8 {
+			t.Fatalf("owner %d out of range", store)
+		}
+	}
+}
+
+func TestHashSidesDecoupled(t *testing.T) {
+	// The R and S owners of the same key should differ for most keys so a
+	// hot key does not compound on one instance index.
+	r := NewHash(16, 7)
+	same := 0
+	for key := stream.Key(0); key < 400; key++ {
+		if r.Owner(stream.R, key) == r.Owner(stream.S, key) {
+			same++
+		}
+	}
+	// Expectation ~400/16 = 25 coincidences.
+	if same > 60 {
+		t.Errorf("%d/400 keys share owners across sides", same)
+	}
+}
+
+func TestHashApplyUpdate(t *testing.T) {
+	r := NewHash(4, 1)
+	before := r.Owner(stream.R, 42)
+	newOwner := (before + 1) % 4
+	r.ApplyUpdate(stream.R, []stream.Key{42}, newOwner)
+	if got := r.Owner(stream.R, 42); got != newOwner {
+		t.Errorf("owner = %d, want %d", got, newOwner)
+	}
+	if got := r.ProbeTargets(stream.R, 42, nil); got[0] != newOwner {
+		t.Errorf("probe target = %d, want %d", got[0], newOwner)
+	}
+	// The S side's owner for key 42 must be untouched.
+	if got := r.Owner(stream.S, 42); got != NewHash(4, 1).Owner(stream.S, 42) {
+		t.Error("S side affected by R-side update")
+	}
+	// Another key is unaffected.
+	if r.Owner(stream.R, 43) != NewHash(4, 1).Owner(stream.R, 43) {
+		t.Error("unrelated key moved")
+	}
+	if r.Overrides(stream.R) != 1 || r.Overrides(stream.S) != 0 {
+		t.Errorf("overrides = %d/%d", r.Overrides(stream.R), r.Overrides(stream.S))
+	}
+}
+
+func TestHashSeedChangesPlacement(t *testing.T) {
+	a := NewHash(16, 1)
+	b := NewHash(16, 2)
+	same := 0
+	for key := stream.Key(0); key < 200; key++ {
+		if a.Owner(stream.R, key) == b.Owner(stream.R, key) {
+			same++
+		}
+	}
+	if same > 40 { // expectation ~200/16 = 12.5
+		t.Errorf("%d/200 keys agree across seeds", same)
+	}
+}
+
+func TestHashBalancedPlacement(t *testing.T) {
+	const n, keys = 8, 8000
+	r := NewHash(n, 3)
+	counts := make([]int, n)
+	for k := stream.Key(0); k < keys; k++ {
+		counts[r.Owner(stream.R, k)]++
+	}
+	for i, c := range counts {
+		if c < keys/n*8/10 || c > keys/n*12/10 {
+			t.Errorf("instance %d owns %d keys, want ~%d", i, c, keys/n)
+		}
+	}
+}
+
+func TestContRandSubgroupMembership(t *testing.T) {
+	r := NewContRand(8, 2, 1, 0)
+	for key := stream.Key(0); key < 100; key++ {
+		lo, hi := r.Members(stream.R, key)
+		if hi-lo != 2 {
+			t.Fatalf("subgroup size = %d, want 2", hi-lo)
+		}
+		for trial := 0; trial < 10; trial++ {
+			s := r.StoreTarget(stream.R, key)
+			if s < lo || s >= hi {
+				t.Fatalf("store %d outside subgroup [%d,%d)", s, lo, hi)
+			}
+		}
+		probes := r.ProbeTargets(stream.R, key, nil)
+		if len(probes) != 2 || probes[0] != lo || probes[1] != lo+1 {
+			t.Fatalf("probes = %v, want [%d %d]", probes, lo, lo+1)
+		}
+	}
+}
+
+func TestContRandStoreSpreadsWithinSubgroup(t *testing.T) {
+	r := NewContRand(4, 2, 1, 0)
+	counts := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		counts[r.StoreTarget(stream.R, 7)]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("stores hit %d members, want 2", len(counts))
+	}
+	for member, c := range counts {
+		if c < 300 {
+			t.Errorf("member %d got %d/1000 stores", member, c)
+		}
+	}
+}
+
+func TestContRandClamping(t *testing.T) {
+	if got := NewContRand(3, 10, 1, 0).ProbeTargets(stream.R, 1, nil); len(got) != 3 {
+		t.Errorf("oversize subgroup probes = %v", got)
+	}
+	if got := NewContRand(3, 0, 1, 0).ProbeTargets(stream.R, 1, nil); len(got) != 1 {
+		t.Errorf("zero subgroup probes = %v", got)
+	}
+}
+
+func TestContRandUpdateIgnored(t *testing.T) {
+	r := NewContRand(8, 2, 1, 0)
+	lo, hi := r.Members(stream.R, 5)
+	r.ApplyUpdate(stream.R, []stream.Key{5}, 0)
+	lo2, hi2 := r.Members(stream.R, 5)
+	if lo != lo2 || hi != hi2 {
+		t.Error("static router changed after update")
+	}
+}
+
+func TestRandomRouterRanges(t *testing.T) {
+	r := NewRandom(5, 1, 0)
+	seen := make(map[int]bool)
+	for i := 0; i < 500; i++ {
+		s := r.StoreTarget(stream.R, stream.Key(i))
+		if s < 0 || s >= 5 {
+			t.Fatalf("store %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("stores hit %d/5 instances", len(seen))
+	}
+	probes := r.ProbeTargets(stream.S, 9, nil)
+	if len(probes) != 5 {
+		t.Fatalf("probe fan-out %d, want 5", len(probes))
+	}
+	for i, p := range probes {
+		if p != i {
+			t.Fatalf("probes = %v", probes)
+		}
+	}
+	r.ApplyUpdate(stream.R, []stream.Key{1}, 0) // must be a no-op
+}
+
+// Property: hash probe targets always equal the store target for any key,
+// side and routing-table state reachable by updates.
+func TestHashProbeStoreAgreementProperty(t *testing.T) {
+	f := func(key stream.Key, updates []uint8) bool {
+		r := NewHash(6, 3)
+		for i, u := range updates {
+			r.ApplyUpdate(stream.Side(i%2), []stream.Key{stream.Key(u % 16)}, int(u)%6)
+		}
+		for _, side := range []stream.Side{stream.R, stream.S} {
+			p := r.ProbeTargets(side, key%16, nil)
+			if len(p) != 1 || p[0] != r.StoreTarget(side, key%16) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ProbeTargets always returns at least one target in range, for
+// every strategy.
+func TestProbeTargetsInRangeProperty(t *testing.T) {
+	routers := []Router{
+		NewHash(7, 1),
+		NewContRand(7, 3, 1, 0),
+		NewRandom(7, 1, 0),
+	}
+	f := func(key stream.Key, sideRaw uint8) bool {
+		side := stream.Side(sideRaw % 2)
+		for _, r := range routers {
+			targets := r.ProbeTargets(side, key, nil)
+			if len(targets) == 0 {
+				return false
+			}
+			for _, tg := range targets {
+				if tg < 0 || tg >= 7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

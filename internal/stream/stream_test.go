@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSideString(t *testing.T) {
+	tests := []struct {
+		side Side
+		want string
+	}{
+		{R, "R"},
+		{S, "S"},
+		{Side(7), "Side(7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.side.String(); got != tt.want {
+			t.Errorf("Side(%d).String() = %q, want %q", tt.side, got, tt.want)
+		}
+	}
+}
+
+func TestSideOpposite(t *testing.T) {
+	if R.Opposite() != S {
+		t.Errorf("R.Opposite() = %v, want S", R.Opposite())
+	}
+	if S.Opposite() != R {
+		t.Errorf("S.Opposite() = %v, want R", S.Opposite())
+	}
+}
+
+func TestSideOppositeInvolution(t *testing.T) {
+	for _, s := range []Side{R, S} {
+		if s.Opposite().Opposite() != s {
+			t.Errorf("Opposite is not an involution for %v", s)
+		}
+	}
+}
+
+func TestSideValid(t *testing.T) {
+	if !R.Valid() || !S.Valid() {
+		t.Error("R and S must be valid sides")
+	}
+	if Side(2).Valid() {
+		t.Error("Side(2) must not be valid")
+	}
+}
+
+func TestTupleID(t *testing.T) {
+	tup := Tuple{Side: S, Key: 42, Seq: 99}
+	id := tup.ID()
+	if id.Side != S || id.Seq != 99 {
+		t.Errorf("ID() = %+v, want {S 99}", id)
+	}
+}
+
+func TestTupleIDUniqueness(t *testing.T) {
+	seen := make(map[TupleID]bool)
+	for side := Side(0); side <= S; side++ {
+		for seq := uint64(0); seq < 100; seq++ {
+			id := Tuple{Side: side, Seq: seq}.ID()
+			if seen[id] {
+				t.Fatalf("duplicate TupleID %+v", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != 200 {
+		t.Fatalf("expected 200 unique ids, got %d", len(seen))
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tup := Tuple{Side: R, Key: 7, Seq: 3}
+	if got, want := tup.String(), "R#3(key=7)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestJoinedPairID(t *testing.T) {
+	p := JoinedPair{
+		R: Tuple{Side: R, Key: 5, Seq: 11},
+		S: Tuple{Side: S, Key: 5, Seq: 22},
+	}
+	if id := p.ID(); id.RSeq != 11 || id.SSeq != 22 {
+		t.Errorf("pair ID = %+v, want {11 22}", id)
+	}
+	if p.Key() != 5 {
+		t.Errorf("pair Key = %d, want 5", p.Key())
+	}
+}
+
+func TestPairIDSymmetryProperty(t *testing.T) {
+	// The pair identifier must not depend on which side's instance emitted
+	// the pair: constructing the pair from the same two tuples always yields
+	// the same PairID.
+	f := func(rSeq, sSeq uint64, key uint64) bool {
+		r := Tuple{Side: R, Key: key, Seq: rSeq}
+		s := Tuple{Side: S, Key: key, Seq: sSeq}
+		a := JoinedPair{R: r, S: s, StoreSide: R, Instance: 0}.ID()
+		b := JoinedPair{R: r, S: s, StoreSide: S, Instance: 3}.ID()
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNowMonotonicEnough(t *testing.T) {
+	a := Now()
+	b := Now()
+	if b < a {
+		t.Errorf("Now went backwards: %d then %d", a, b)
+	}
+	if a == 0 {
+		t.Error("Now returned zero")
+	}
+}

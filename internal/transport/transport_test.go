@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"fastjoin/internal/stream"
+)
+
+// payload is a gob-encodable stand-in for the system's message values.
+type payload struct {
+	Tuple stream.Tuple
+	Note  string
+}
+
+func init() {
+	RegisterValue(payload{})
+	RegisterValue(stream.Tuple{})
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(4)
+	defer a.Close()
+	defer b.Close()
+	want := Message{FromComp: "joinerR", FromTask: 3, Stream: "toR", Value: 42}
+	if err := a.Send(want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.FromComp != want.FromComp || got.FromTask != 3 || got.Value != 42 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestPipeBothDirections(t *testing.T) {
+	a, b := Pipe(1)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(Message{Value: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(Message{Value: "pong"}); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := b.Recv()
+	m2, _ := a.Recv()
+	if m1.Value != "ping" || m2.Value != "pong" {
+		t.Errorf("cross talk: %v %v", m1.Value, m2.Value)
+	}
+}
+
+func TestPipeOrderPreserved(t *testing.T) {
+	a, b := Pipe(100)
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.Send(Message{Value: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Value != i {
+			t.Fatalf("out of order: got %v want %d", m.Value, i)
+		}
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Errorf("Recv after close = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv not unblocked by peer close")
+	}
+	if err := a.Send(Message{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeDrainAfterPeerClose(t *testing.T) {
+	a, b := Pipe(4)
+	defer b.Close()
+	a.Send(Message{Value: 1})
+	a.Close()
+	if m, err := b.Recv(); err != nil || m.Value != 1 {
+		t.Errorf("should drain buffered message: %v %v", m, err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, io.EOF) {
+		t.Errorf("after drain want EOF, got %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	type result struct {
+		conn Conn
+		err  error
+	}
+	accepted := make(chan result, 1)
+	go func() {
+		c, err := srv.Accept()
+		accepted <- result{c, err}
+	}()
+
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	res := <-accepted
+	if res.err != nil {
+		t.Fatalf("Accept: %v", res.err)
+	}
+	server := res.conn
+	defer server.Close()
+
+	want := Message{
+		FromComp: "dispatcher",
+		FromTask: 1,
+		Stream:   "toS",
+		Value: payload{
+			Tuple: stream.Tuple{Side: stream.S, Key: 99, Seq: 7, EventTime: 123},
+			Note:  "probe",
+		},
+	}
+	if err := client.Send(want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	p, ok := got.Value.(payload)
+	if !ok {
+		t.Fatalf("payload type %T", got.Value)
+	}
+	if p.Tuple.Key != 99 || p.Tuple.Seq != 7 || p.Note != "probe" {
+		t.Errorf("payload = %+v", p)
+	}
+
+	// And the reverse direction.
+	if err := server.Send(Message{Value: payload{Note: "reply"}}); err != nil {
+		t.Fatalf("server Send: %v", err)
+	}
+	back, err := client.Recv()
+	if err != nil {
+		t.Fatalf("client Recv: %v", err)
+	}
+	if back.Value.(payload).Note != "reply" {
+		t.Errorf("reply = %+v", back)
+	}
+}
+
+func TestTCPManyMessagesOrdered(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		conn, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < 500; i++ {
+			if err := conn.Send(Message{FromTask: i, Value: payload{Note: fmt.Sprint(i)}}); err != nil {
+				return
+			}
+		}
+	}()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 500; i++ {
+		m, err := client.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if m.FromTask != i {
+			t.Fatalf("out of order at %d: %+v", i, m)
+		}
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		conn, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					// Send is mutex-protected: safe from many goroutines.
+					_ = conn.Send(Message{FromTask: g, Value: i})
+				}
+			}(g)
+		}
+		wg.Wait()
+		conn.Close()
+	}()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	count := 0
+	for {
+		_, err := client.Recv()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		count++
+	}
+	if count != 400 {
+		t.Errorf("received %d, want 400", count)
+	}
+}
+
+func TestTCPRecvAfterPeerClose(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		conn, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		conn.Close()
+	}()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Recv(); !errors.Is(err, io.EOF) {
+		t.Errorf("Recv on closed peer = %v, want EOF", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("Dial to closed port should fail")
+	}
+}
+
+func TestListenBadAddr(t *testing.T) {
+	if _, err := Listen("300.300.300.300:0"); err == nil {
+		t.Error("Listen on invalid address should fail")
+	}
+}

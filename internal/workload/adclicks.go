@@ -1,0 +1,93 @@
+package workload
+
+import "fastjoin/internal/stream"
+
+// The ad-analytics workload mirrors the Photon use case the paper cites:
+// joining a search-query stream with an advertisement-click stream. Both
+// streams are keyed by advertisement id; popular ads dominate both queries
+// and clicks, and clicks are a thinned echo of queries (not every query
+// leads to a click), which the generator models with a lower click rate and
+// a slightly steeper click skew (popular ads attract superlinear clicks).
+
+// AdClicksConfig parameterizes the Photon-style workload.
+type AdClicksConfig struct {
+	// Ads is the number of distinct advertisement ids (the key universe).
+	Ads int
+	// QueryTheta and ClickTheta are the zipf exponents of the two streams.
+	QueryTheta, ClickTheta float64
+	// QueriesPerClick is the stream-rate ratio R:S (queries far outnumber
+	// clicks; a typical click-through rate is a few percent).
+	QueriesPerClick int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultAdClicksConfig returns the laptop-scale default configuration.
+func DefaultAdClicksConfig() AdClicksConfig {
+	return AdClicksConfig{
+		Ads:             20000,
+		QueryTheta:      1.0,
+		ClickTheta:      1.2,
+		QueriesPerClick: 20,
+		Seed:            1,
+	}
+}
+
+// QueryPayload is the payload of a search-query tuple.
+type QueryPayload struct {
+	QueryID uint64
+	UserID  uint64
+}
+
+// ClickPayload is the payload of an ad-click tuple.
+type ClickPayload struct {
+	ClickID uint64
+	UserID  uint64
+}
+
+// AdClicks is the generated workload. Queries are side R (stored, probed by
+// clicks) and clicks are side S. Note the rate asymmetry is inverted versus
+// ride-hailing: here R is the dense stream.
+type AdClicks struct {
+	Queries *Source
+	Clicks  *Source
+	// QueriesPerClick is the configured interleave ratio.
+	QueriesPerClick int
+}
+
+// NewAdClicks builds the Photon-style workload.
+func NewAdClicks(cfg AdClicksConfig) *AdClicks {
+	if cfg.Ads <= 0 {
+		panic("workload: AdClicks requires Ads > 0")
+	}
+	if cfg.QueriesPerClick < 1 {
+		panic("workload: QueriesPerClick must be >= 1")
+	}
+	permSeed := cfg.Seed ^ 0x3c6ef372
+	queries := NewZipfPerm(cfg.Ads, cfg.QueryTheta, cfg.Seed+10, permSeed)
+	clicks := NewZipfPerm(cfg.Ads, cfg.ClickTheta, cfg.Seed+11, permSeed)
+	return &AdClicks{
+		Queries: NewSource(stream.R, queries, func(key stream.Key, seq uint64) any {
+			return QueryPayload{QueryID: seq, UserID: seq % 100003}
+		}),
+		Clicks: NewSource(stream.S, clicks, func(key stream.Key, seq uint64) any {
+			return ClickPayload{ClickID: seq, UserID: seq % 100003}
+		}),
+		QueriesPerClick: cfg.QueriesPerClick,
+	}
+}
+
+// Interleave produces a merged sequence of n tuples at the configured
+// query:click ratio.
+func (a *AdClicks) Interleave(n int) []stream.Tuple {
+	out := make([]stream.Tuple, 0, n)
+	for len(out) < n {
+		for i := 0; i < a.QueriesPerClick && len(out) < n; i++ {
+			out = append(out, a.Queries.Next())
+		}
+		if len(out) < n {
+			out = append(out, a.Clicks.Next())
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fastjoin/internal/stream"
+)
+
+// DriftingZipf is a zipf sampler whose hot set moves over time: after every
+// Period samples the rank→key permutation rotates by Step keys, so the keys
+// that were hot go cold and new ones heat up. This models the paper's core
+// motivation — "workloads on different processing nodes vary dynamically
+// and are hard to predict" — and is the scenario where dynamic migration
+// beats any static assignment (including one tuned offline on a prefix).
+//
+// Two DriftingZipf samplers built with the same permSeed, period and step
+// drift in lockstep when sampled at the same rate (same samples-per-window
+// count), so both streams of a join workload share each epoch's hot keys.
+type DriftingZipf struct {
+	z      *Zipf
+	n      int
+	period int64
+	step   int
+	count  int64
+	offset int
+}
+
+// NewDriftingZipf returns a drifting sampler over n keys with exponent
+// theta; the hot set shifts by step keys every period samples.
+func NewDriftingZipf(n int, theta float64, period int64, step int, sampleSeed, permSeed int64) *DriftingZipf {
+	if period <= 0 {
+		panic("workload: DriftingZipf period must be positive")
+	}
+	if step <= 0 {
+		panic("workload: DriftingZipf step must be positive")
+	}
+	return &DriftingZipf{
+		z:      NewZipfPerm(n, theta, sampleSeed, permSeed),
+		n:      n,
+		period: period,
+		step:   step,
+	}
+}
+
+// Sample draws one key from the current epoch's distribution.
+func (d *DriftingZipf) Sample() stream.Key {
+	if d.count > 0 && d.count%d.period == 0 {
+		d.offset = (d.offset + d.step) % d.n
+	}
+	d.count++
+	base := d.z.Sample()
+	return stream.Key((int(base) + d.offset) % d.n)
+}
+
+// Cardinality returns the size of the key universe.
+func (d *DriftingZipf) Cardinality() int { return d.n }
+
+// Epoch returns how many drift shifts have occurred so far.
+func (d *DriftingZipf) Epoch() int64 { return d.count / d.period }

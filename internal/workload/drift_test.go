@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"fastjoin/internal/stream"
+)
+
+func hottestKey(sample func() stream.Key, n int) stream.Key {
+	counts := make(map[stream.Key]int)
+	for i := 0; i < n; i++ {
+		counts[sample()]++
+	}
+	var best stream.Key
+	bestC := -1
+	for k, c := range counts {
+		if c > bestC {
+			best, bestC = k, c
+		}
+	}
+	return best
+}
+
+func TestDriftingZipfValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewDriftingZipf(10, 1, 0, 1, 1, 2) },
+		func() { NewDriftingZipf(10, 1, 100, 0, 1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDriftingZipfHotSetMoves(t *testing.T) {
+	const n, period = 1000, 20000
+	d := NewDriftingZipf(n, 1.8, period, 137, 1, 2)
+	// Hottest key within the first epoch.
+	first := hottestKey(d.Sample, period-1000)
+	// Skip into a later epoch.
+	for d.Epoch() < 3 {
+		d.Sample()
+	}
+	third := hottestKey(d.Sample, period-1000)
+	if first == third {
+		t.Errorf("hot key did not move across epochs: %d", first)
+	}
+	// The shift is exactly the configured step (mod n), twice applied... at
+	// minimum the distance is a multiple of the step.
+	diff := (int(third) - int(first)%n + n) % n
+	if diff%137 != 0 {
+		t.Errorf("hot key moved by %d, not a multiple of the step", diff)
+	}
+}
+
+func TestDriftingZipfKeysInRange(t *testing.T) {
+	d := NewDriftingZipf(50, 1.0, 10, 7, 3, 4)
+	for i := 0; i < 5000; i++ {
+		if k := d.Sample(); k >= 50 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+	if d.Cardinality() != 50 {
+		t.Errorf("Cardinality = %d", d.Cardinality())
+	}
+}
+
+func TestDriftingZipfLockstep(t *testing.T) {
+	// Two samplers sharing permSeed/period/step agree on each epoch's hot
+	// key when sampled at the same rate.
+	a := NewDriftingZipf(500, 2.0, 10000, 91, 1, 77)
+	b := NewDriftingZipf(500, 2.0, 10000, 91, 2, 77)
+	hotA := hottestKey(a.Sample, 9000)
+	hotB := hottestKey(b.Sample, 9000)
+	if hotA != hotB {
+		t.Errorf("lockstep broken in epoch 0: %d vs %d", hotA, hotB)
+	}
+}
+
+func TestDriftingZipfEpochCounter(t *testing.T) {
+	d := NewDriftingZipf(10, 1, 100, 1, 1, 2)
+	if d.Epoch() != 0 {
+		t.Fatalf("initial epoch = %d", d.Epoch())
+	}
+	for i := 0; i < 250; i++ {
+		d.Sample()
+	}
+	if d.Epoch() != 2 {
+		t.Errorf("epoch after 250 samples = %d, want 2", d.Epoch())
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"context"
+	"time"
+
+	"fastjoin/internal/stream"
+)
+
+// Replayer paces tuple emission at a target rate, standing in for the
+// KafkaSpout rate control described in the paper's implementation section.
+// Pacing is done in small batches (one batch per pacing tick) so rates up to
+// millions of tuples per second are achievable without a per-tuple timer.
+type Replayer struct {
+	next func() stream.Tuple
+	rate float64 // tuples per second; <= 0 means unlimited
+	tick time.Duration
+}
+
+// NewReplayer wraps a tuple generator function with rate control.
+// tuplesPerSec <= 0 disables pacing.
+func NewReplayer(next func() stream.Tuple, tuplesPerSec float64) *Replayer {
+	if next == nil {
+		panic("workload: NewReplayer requires a generator")
+	}
+	return &Replayer{next: next, rate: tuplesPerSec, tick: 5 * time.Millisecond}
+}
+
+// NewPairReplayer builds a Replayer over the interleaved merge of a Pair.
+func NewPairReplayer(p Pair, tuplesPerSec float64) *Replayer {
+	if p.SPerR < 1 {
+		panic("workload: Pair.SPerR must be >= 1")
+	}
+	i := 0
+	next := func() stream.Tuple {
+		var t stream.Tuple
+		if i%(p.SPerR+1) == 0 {
+			t = p.R.Next()
+		} else {
+			t = p.S.Next()
+		}
+		i++
+		return t
+	}
+	return &Replayer{next: next, rate: tuplesPerSec, tick: 5 * time.Millisecond}
+}
+
+// Run emits up to n tuples (n <= 0 means until ctx is done) through emit.
+// It stops early when ctx is cancelled or emit returns false, and returns
+// the number of tuples emitted.
+func (r *Replayer) Run(ctx context.Context, n int, emit func(stream.Tuple) bool) int {
+	emitted := 0
+	perTick := 1 << 62
+	var ticker *time.Ticker
+	if r.rate > 0 {
+		perTick = int(r.rate * r.tick.Seconds())
+		if perTick < 1 {
+			perTick = 1
+		}
+		ticker = time.NewTicker(r.tick)
+		defer ticker.Stop()
+	}
+	for {
+		// Emit one pacing batch.
+		for i := 0; i < perTick; i++ {
+			if n > 0 && emitted >= n {
+				return emitted
+			}
+			select {
+			case <-ctx.Done():
+				return emitted
+			default:
+			}
+			if !emit(r.next()) {
+				return emitted
+			}
+			emitted++
+		}
+		if ticker == nil {
+			// Unlimited rate: loop again immediately; ctx and n are
+			// checked at the top of the batch loop.
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return emitted
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fastjoin/internal/stream"
+)
+
+func TestRideHailingConfigValidation(t *testing.T) {
+	cases := []func(*RideHailingConfig){
+		func(c *RideHailingConfig) { c.GridWidth = 0 },
+		func(c *RideHailingConfig) { c.GridHeight = -1 },
+		func(c *RideHailingConfig) { c.TracksPerOrder = 0 },
+		func(c *RideHailingConfig) { c.Fleet = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultRideHailingConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewRideHailing(cfg)
+		}()
+	}
+}
+
+func TestRideHailingSidesAndPayloads(t *testing.T) {
+	cfg := DefaultRideHailingConfig()
+	cfg.GridWidth, cfg.GridHeight = 20, 20
+	rh := NewRideHailing(cfg)
+	order := rh.R.Next()
+	if order.Side != stream.R {
+		t.Errorf("order side = %v, want R", order.Side)
+	}
+	op, ok := order.Payload.(OrderPayload)
+	if !ok {
+		t.Fatalf("order payload type %T", order.Payload)
+	}
+	if op.Lat < chengduLatMin || op.Lat > chengduLatMax {
+		t.Errorf("order lat %f outside Chengdu box", op.Lat)
+	}
+	if op.Lng < chengduLngMin || op.Lng > chengduLngMax {
+		t.Errorf("order lng %f outside Chengdu box", op.Lng)
+	}
+
+	track := rh.S.Next()
+	if track.Side != stream.S {
+		t.Errorf("track side = %v, want S", track.Side)
+	}
+	tp, ok := track.Payload.(TrackPayload)
+	if !ok {
+		t.Fatalf("track payload type %T", track.Payload)
+	}
+	if tp.TaxiID >= uint64(cfg.Fleet) {
+		t.Errorf("taxi id %d exceeds fleet %d", tp.TaxiID, cfg.Fleet)
+	}
+}
+
+func TestRideHailingKeysWithinGrid(t *testing.T) {
+	cfg := DefaultRideHailingConfig()
+	cfg.GridWidth, cfg.GridHeight = 10, 10
+	rh := NewRideHailing(cfg)
+	if rh.Cells != 100 {
+		t.Fatalf("Cells = %d, want 100", rh.Cells)
+	}
+	for i := 0; i < 1000; i++ {
+		if k := rh.R.Next().Key; k >= 100 {
+			t.Fatalf("order key %d out of grid", k)
+		}
+		if k := rh.S.Next().Key; k >= 100 {
+			t.Fatalf("track key %d out of grid", k)
+		}
+	}
+}
+
+func TestRideHailingSharedHotCells(t *testing.T) {
+	cfg := DefaultRideHailingConfig()
+	cfg.GridWidth, cfg.GridHeight = 30, 30
+	rh := NewRideHailing(cfg)
+	hottest := func(src *Source) stream.Key {
+		counts := make(map[stream.Key]int)
+		for i := 0; i < 30000; i++ {
+			counts[src.Next().Key]++
+		}
+		var best stream.Key
+		bestC := -1
+		for k, c := range counts {
+			if c > bestC {
+				best, bestC = k, c
+			}
+		}
+		return best
+	}
+	if hottest(rh.R) != hottest(rh.S) {
+		t.Error("orders and tracks must share the hottest cell")
+	}
+}
+
+func TestRideHailingCalibratedThetas(t *testing.T) {
+	cfg := DefaultRideHailingConfig()
+	cfg.GridWidth, cfg.GridHeight = 40, 40
+	rh := NewRideHailing(cfg)
+	if rh.OrderTheta <= 0 || rh.TrackTheta <= 0 {
+		t.Errorf("thetas not calibrated: %f %f", rh.OrderTheta, rh.TrackTheta)
+	}
+	// Orders (20% -> 80%) are more skewed than tracks (24% -> 80%).
+	if rh.OrderTheta <= rh.TrackTheta {
+		t.Errorf("order theta %f should exceed track theta %f", rh.OrderTheta, rh.TrackTheta)
+	}
+}
+
+func TestRideHailingExplicitThetas(t *testing.T) {
+	cfg := DefaultRideHailingConfig()
+	cfg.GridWidth, cfg.GridHeight = 10, 10
+	cfg.OrderTheta, cfg.TrackTheta = 0.5, 0.7
+	rh := NewRideHailing(cfg)
+	if rh.OrderTheta != 0.5 || rh.TrackTheta != 0.7 {
+		t.Errorf("explicit thetas not honored: %f %f", rh.OrderTheta, rh.TrackTheta)
+	}
+}
+
+func TestGridGeoCenters(t *testing.T) {
+	g := gridGeo{w: 10, h: 10}
+	lat0, lng0 := g.center(0)
+	lat99, lng99 := g.center(99)
+	if lat0 >= lat99 {
+		t.Errorf("cell 0 lat %f should be south of cell 99 lat %f", lat0, lat99)
+	}
+	if lng0 >= lng99 {
+		t.Errorf("cell 0 lng %f should be west of cell 99 lng %f", lng0, lng99)
+	}
+}
+
+func TestAdClicksValidation(t *testing.T) {
+	cfg := DefaultAdClicksConfig()
+	cfg.Ads = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Ads=0 should panic")
+			}
+		}()
+		NewAdClicks(cfg)
+	}()
+	cfg = DefaultAdClicksConfig()
+	cfg.QueriesPerClick = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("QueriesPerClick=0 should panic")
+			}
+		}()
+		NewAdClicks(cfg)
+	}()
+}
+
+func TestAdClicksSidesAndRatio(t *testing.T) {
+	cfg := DefaultAdClicksConfig()
+	cfg.Ads = 100
+	cfg.QueriesPerClick = 4
+	ac := NewAdClicks(cfg)
+	tuples := ac.Interleave(50)
+	var q, c int
+	for _, tup := range tuples {
+		switch tup.Side {
+		case stream.R:
+			q++
+			if _, ok := tup.Payload.(QueryPayload); !ok {
+				t.Fatalf("query payload type %T", tup.Payload)
+			}
+		case stream.S:
+			c++
+			if _, ok := tup.Payload.(ClickPayload); !ok {
+				t.Fatalf("click payload type %T", tup.Payload)
+			}
+		}
+	}
+	if q != 40 || c != 10 {
+		t.Errorf("queries=%d clicks=%d, want 40/10", q, c)
+	}
+}
+
+func TestAdClicksSharedHotAd(t *testing.T) {
+	cfg := DefaultAdClicksConfig()
+	cfg.Ads = 500
+	ac := NewAdClicks(cfg)
+	hottest := func(src *Source) stream.Key {
+		counts := make(map[stream.Key]int)
+		for i := 0; i < 30000; i++ {
+			counts[src.Next().Key]++
+		}
+		var best stream.Key
+		bestC := -1
+		for k, cnt := range counts {
+			if cnt > bestC {
+				best, bestC = k, cnt
+			}
+		}
+		return best
+	}
+	if hottest(ac.Queries) != hottest(ac.Clicks) {
+		t.Error("queries and clicks must share the hottest ad")
+	}
+}
+
+func TestReplayerCountLimit(t *testing.T) {
+	src := NewSource(stream.R, NewUniform(10, 1), nil)
+	r := NewReplayer(src.Next, 0)
+	var got []stream.Tuple
+	n := r.Run(context.Background(), 25, func(t stream.Tuple) bool {
+		got = append(got, t)
+		return true
+	})
+	if n != 25 || len(got) != 25 {
+		t.Errorf("emitted %d/%d, want 25", n, len(got))
+	}
+}
+
+func TestReplayerEmitStops(t *testing.T) {
+	src := NewSource(stream.R, NewUniform(10, 1), nil)
+	r := NewReplayer(src.Next, 0)
+	count := 0
+	n := r.Run(context.Background(), 1000, func(stream.Tuple) bool {
+		count++
+		return count < 5
+	})
+	if n != 4 {
+		t.Errorf("emitted %d, want 4 (emit returned false on 5th)", n)
+	}
+}
+
+func TestReplayerContextCancel(t *testing.T) {
+	src := NewSource(stream.R, NewUniform(10, 1), nil)
+	r := NewReplayer(src.Next, 100) // slow rate so cancellation lands mid-run
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	done := make(chan int)
+	go func() { done <- r.Run(ctx, 0, func(stream.Tuple) bool { return true }) }()
+	select {
+	case n := <-done:
+		if n <= 0 {
+			t.Errorf("emitted %d, want > 0", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("replayer did not stop on context cancellation")
+	}
+}
+
+func TestReplayerApproximateRate(t *testing.T) {
+	src := NewSource(stream.R, NewUniform(10, 1), nil)
+	r := NewReplayer(src.Next, 2000)
+	start := time.Now()
+	r.Run(context.Background(), 200, func(stream.Tuple) bool { return true })
+	elapsed := time.Since(start)
+	// 200 tuples at 2000/s should take ~100ms; allow generous slack.
+	if elapsed < 50*time.Millisecond || elapsed > 500*time.Millisecond {
+		t.Errorf("200 tuples at 2000/s took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestReplayerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil generator should panic")
+		}
+	}()
+	NewReplayer(nil, 0)
+}
+
+func TestPairReplayerRatio(t *testing.T) {
+	p := Pair{
+		R:     NewSource(stream.R, NewUniform(5, 1), nil),
+		S:     NewSource(stream.S, NewUniform(5, 2), nil),
+		SPerR: 2,
+	}
+	r := NewPairReplayer(p, 0)
+	var rc, sc int
+	r.Run(context.Background(), 30, func(t stream.Tuple) bool {
+		if t.Side == stream.R {
+			rc++
+		} else {
+			sc++
+		}
+		return true
+	})
+	if rc != 10 || sc != 20 {
+		t.Errorf("R=%d S=%d, want 10/20", rc, sc)
+	}
+}
+
+func TestPairReplayerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SPerR=0 should panic")
+		}
+	}()
+	NewPairReplayer(Pair{}, 0)
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math/rand"
+
+	"fastjoin/internal/stream"
+)
+
+// Uniform samples keys uniformly from [0, n). It is Zipf with theta 0 but
+// cheaper: O(1) per sample with no precomputed tables.
+type Uniform struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewUniform returns a uniform sampler over n keys.
+func NewUniform(n int, seed int64) *Uniform {
+	if n <= 0 {
+		panic("workload: Uniform requires n > 0")
+	}
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Sample draws one key.
+func (u *Uniform) Sample() stream.Key { return stream.Key(u.rng.Intn(u.n)) }
+
+// Cardinality returns the number of distinct keys.
+func (u *Uniform) Cardinality() int { return u.n }
+
+// PayloadFunc builds the payload of the next tuple given its key and
+// sequence number. A nil PayloadFunc produces nil payloads.
+type PayloadFunc func(key stream.Key, seq uint64) any
+
+// Source produces the tuples of one input stream: keys come from a Sampler,
+// sequence numbers increase from 0, and event time is stamped at generation.
+// A Source is not safe for concurrent use; each spout task owns one.
+type Source struct {
+	side     stream.Side
+	sampler  Sampler
+	payload  PayloadFunc
+	seq      uint64
+	stride   uint64
+	produced uint64
+	clock    func() int64
+}
+
+// NewSource returns a tuple source for the given side.
+func NewSource(side stream.Side, sampler Sampler, payload PayloadFunc) *Source {
+	if !side.Valid() {
+		panic("workload: invalid side")
+	}
+	if sampler == nil {
+		panic("workload: nil sampler")
+	}
+	return &Source{side: side, sampler: sampler, payload: payload, stride: 1, clock: stream.Now}
+}
+
+// WithSeqStride makes the source emit sequence numbers offset, offset+stride,
+// offset+2*stride, ... so several parallel sources of the same side can
+// produce disjoint sequence spaces (source i of P uses offset i, stride P).
+// It returns the source for chaining.
+func (s *Source) WithSeqStride(offset, stride uint64) *Source {
+	if stride == 0 {
+		panic("workload: stride must be positive")
+	}
+	s.seq = offset
+	s.stride = stride
+	return s
+}
+
+// WithClock overrides the event-time clock (tests use a fake clock).
+// It returns the source for chaining.
+func (s *Source) WithClock(clock func() int64) *Source {
+	s.clock = clock
+	return s
+}
+
+// Side returns which stream this source feeds.
+func (s *Source) Side() stream.Side { return s.side }
+
+// Next produces the next tuple.
+func (s *Source) Next() stream.Tuple {
+	key := s.sampler.Sample()
+	t := stream.Tuple{
+		Side:      s.side,
+		Key:       key,
+		Seq:       s.seq,
+		EventTime: s.clock(),
+	}
+	if s.payload != nil {
+		t.Payload = s.payload(key, s.seq)
+	}
+	s.seq += s.stride
+	s.produced++
+	return t
+}
+
+// Produced returns how many tuples the source has emitted so far.
+func (s *Source) Produced() uint64 { return s.produced }
+
+// Take drains n tuples into a slice; a convenience for tests and examples.
+func (s *Source) Take(n int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Pair bundles the two sources of a two-stream workload along with the
+// interleaving ratio used when replaying them as a single merged stream.
+type Pair struct {
+	R *Source
+	S *Source
+	// SPerR is how many S tuples are emitted per R tuple when interleaving
+	// (the DiDi track stream is far denser than the order stream).
+	SPerR int
+}
+
+// Interleave produces a merged sequence of n tuples alternating between the
+// two sources at the configured ratio (one R tuple, then SPerR S tuples).
+func (p Pair) Interleave(n int) []stream.Tuple {
+	if p.SPerR < 1 {
+		panic("workload: Pair.SPerR must be >= 1")
+	}
+	out := make([]stream.Tuple, 0, n)
+	for len(out) < n {
+		out = append(out, p.R.Next())
+		for i := 0; i < p.SPerR && len(out) < n; i++ {
+			out = append(out, p.S.Next())
+		}
+	}
+	return out
+}

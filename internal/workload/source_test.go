@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+
+	"fastjoin/internal/stream"
+)
+
+func TestUniformValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewUniform(0) should panic")
+		}
+	}()
+	NewUniform(0, 1)
+}
+
+func TestUniformRangeAndBalance(t *testing.T) {
+	const n, samples = 10, 100000
+	u := NewUniform(n, 1)
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		k := u.Sample()
+		if k >= n {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	for i, c := range counts {
+		if c < samples/n*8/10 || c > samples/n*12/10 {
+			t.Errorf("key %d count %d far from uniform %d", i, c, samples/n)
+		}
+	}
+	if u.Cardinality() != n {
+		t.Errorf("Cardinality = %d, want %d", u.Cardinality(), n)
+	}
+}
+
+func TestSourceSequencing(t *testing.T) {
+	src := NewSource(stream.R, NewUniform(10, 1), nil)
+	for i := uint64(0); i < 5; i++ {
+		tup := src.Next()
+		if tup.Seq != i {
+			t.Errorf("seq = %d, want %d", tup.Seq, i)
+		}
+		if tup.Side != stream.R {
+			t.Errorf("side = %v, want R", tup.Side)
+		}
+		if tup.EventTime == 0 {
+			t.Error("event time not stamped")
+		}
+	}
+	if src.Produced() != 5 {
+		t.Errorf("Produced = %d, want 5", src.Produced())
+	}
+}
+
+func TestSourcePayload(t *testing.T) {
+	src := NewSource(stream.S, NewUniform(10, 1), func(key stream.Key, seq uint64) any {
+		return seq * 2
+	})
+	tup := src.Next()
+	if tup.Payload != any(uint64(0)) {
+		t.Errorf("payload = %v, want 0", tup.Payload)
+	}
+	tup = src.Next()
+	if tup.Payload != any(uint64(2)) {
+		t.Errorf("payload = %v, want 2", tup.Payload)
+	}
+}
+
+func TestSourceWithClock(t *testing.T) {
+	fake := int64(12345)
+	src := NewSource(stream.R, NewUniform(3, 1), nil).WithClock(func() int64 { return fake })
+	if got := src.Next().EventTime; got != 12345 {
+		t.Errorf("event time = %d, want 12345", got)
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid side should panic")
+		}
+	}()
+	NewSource(stream.Side(9), NewUniform(3, 1), nil)
+}
+
+func TestSourceNilSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil sampler should panic")
+		}
+	}()
+	NewSource(stream.R, nil, nil)
+}
+
+func TestSourceTake(t *testing.T) {
+	src := NewSource(stream.R, NewUniform(5, 1), nil)
+	tuples := src.Take(10)
+	if len(tuples) != 10 {
+		t.Fatalf("len = %d, want 10", len(tuples))
+	}
+	for i, tup := range tuples {
+		if tup.Seq != uint64(i) {
+			t.Errorf("tuple %d seq = %d", i, tup.Seq)
+		}
+	}
+}
+
+func TestPairInterleaveRatio(t *testing.T) {
+	p := Pair{
+		R:     NewSource(stream.R, NewUniform(5, 1), nil),
+		S:     NewSource(stream.S, NewUniform(5, 2), nil),
+		SPerR: 3,
+	}
+	tuples := p.Interleave(40)
+	if len(tuples) != 40 {
+		t.Fatalf("len = %d, want 40", len(tuples))
+	}
+	var r, s int
+	for _, tup := range tuples {
+		if tup.Side == stream.R {
+			r++
+		} else {
+			s++
+		}
+	}
+	if r != 10 || s != 30 {
+		t.Errorf("r=%d s=%d, want 10/30", r, s)
+	}
+}
+
+func TestPairInterleaveValidation(t *testing.T) {
+	p := Pair{
+		R: NewSource(stream.R, NewUniform(5, 1), nil),
+		S: NewSource(stream.S, NewUniform(5, 2), nil),
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SPerR=0 should panic")
+		}
+	}()
+	p.Interleave(10)
+}

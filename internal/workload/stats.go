@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"fastjoin/internal/stream"
+)
+
+// Distribution accumulates empirical key frequencies. The fastjoin-gen tool
+// uses it to print the skew statistics of Fig. 1(a)/(b): what fraction of
+// keys (locations) carries what fraction of tuples (orders/tracks).
+type Distribution struct {
+	counts map[stream.Key]int64
+	total  int64
+}
+
+// NewDistribution returns an empty distribution.
+func NewDistribution() *Distribution {
+	return &Distribution{counts: make(map[stream.Key]int64)}
+}
+
+// Observe records one occurrence of key.
+func (d *Distribution) Observe(key stream.Key) {
+	d.counts[key]++
+	d.total++
+}
+
+// ObserveTuples records the keys of all tuples.
+func (d *Distribution) ObserveTuples(tuples []stream.Tuple) {
+	for _, t := range tuples {
+		d.Observe(t.Key)
+	}
+}
+
+// Total returns the number of observations.
+func (d *Distribution) Total() int64 { return d.total }
+
+// DistinctKeys returns the number of distinct keys observed.
+func (d *Distribution) DistinctKeys() int { return len(d.counts) }
+
+// MeanTuplesPerKey returns c = |tuples| / |keys| (the paper's scaling-gain
+// parameter from Eq. 13; the DiDi order stream has c ≈ 14).
+func (d *Distribution) MeanTuplesPerKey() float64 {
+	if len(d.counts) == 0 {
+		return 0
+	}
+	return float64(d.total) / float64(len(d.counts))
+}
+
+// sortedCounts returns the per-key counts in descending order.
+func (d *Distribution) sortedCounts() []int64 {
+	out := make([]int64, 0, len(d.counts))
+	for _, c := range d.counts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// TopShare returns the fraction of observations carried by the hottest
+// fraction p of distinct keys (0 < p <= 1).
+func (d *Distribution) TopShare(p float64) float64 {
+	if p <= 0 || p > 1 {
+		panic("workload: TopShare p must be in (0, 1]")
+	}
+	if d.total == 0 {
+		return 0
+	}
+	counts := d.sortedCounts()
+	k := int(float64(len(counts)) * p)
+	if k < 1 {
+		k = 1
+	}
+	var sum int64
+	for _, c := range counts[:k] {
+		sum += c
+	}
+	return float64(sum) / float64(d.total)
+}
+
+// KeysForMass returns the smallest fraction of distinct keys whose combined
+// observations reach mass fraction m. Fig. 1(a) states ~20% of locations
+// hold 80% of passenger orders: KeysForMass(0.8) ≈ 0.20.
+func (d *Distribution) KeysForMass(m float64) float64 {
+	if m <= 0 || m > 1 {
+		panic("workload: KeysForMass m must be in (0, 1]")
+	}
+	if d.total == 0 {
+		return 0
+	}
+	counts := d.sortedCounts()
+	target := int64(m * float64(d.total))
+	var sum int64
+	for i, c := range counts {
+		sum += c
+		if sum >= target {
+			return float64(i+1) / float64(len(counts))
+		}
+	}
+	return 1
+}
+
+// CDFPoint is one point of the key-frequency CDF: the hottest KeyFrac of
+// keys holds MassFrac of the observations.
+type CDFPoint struct {
+	KeyFrac  float64 `json:"key_frac"`
+	MassFrac float64 `json:"mass_frac"`
+}
+
+// CDF returns n evenly spaced points of the frequency CDF, hottest first.
+func (d *Distribution) CDF(n int) []CDFPoint {
+	if n < 2 {
+		panic("workload: CDF requires n >= 2")
+	}
+	counts := d.sortedCounts()
+	if len(counts) == 0 || d.total == 0 {
+		return nil
+	}
+	// Prefix sums over the sorted counts.
+	prefix := make([]int64, len(counts)+1)
+	for i, c := range counts {
+		prefix[i+1] = prefix[i] + c
+	}
+	out := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		k := int(frac * float64(len(counts)))
+		out[i] = CDFPoint{
+			KeyFrac:  float64(k) / float64(len(counts)),
+			MassFrac: float64(prefix[k]) / float64(d.total),
+		}
+	}
+	return out
+}
+
+// String summarizes the distribution in the terms the paper uses.
+func (d *Distribution) String() string {
+	return fmt.Sprintf(
+		"keys=%d tuples=%d c=%.1f top20%%=%.1f%% keysFor80%%=%.1f%%",
+		d.DistinctKeys(), d.Total(), d.MeanTuplesPerKey(),
+		d.TopShare(0.2)*100, d.KeysForMass(0.8)*100,
+	)
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fastjoin/internal/stream"
+)
+
+func TestDistributionBasics(t *testing.T) {
+	d := NewDistribution()
+	if d.Total() != 0 || d.DistinctKeys() != 0 || d.MeanTuplesPerKey() != 0 {
+		t.Error("empty distribution should report zeros")
+	}
+	for i := 0; i < 10; i++ {
+		d.Observe(1)
+	}
+	d.Observe(2)
+	if d.Total() != 11 || d.DistinctKeys() != 2 {
+		t.Errorf("total=%d distinct=%d, want 11/2", d.Total(), d.DistinctKeys())
+	}
+	if got := d.MeanTuplesPerKey(); got != 5.5 {
+		t.Errorf("c = %f, want 5.5", got)
+	}
+}
+
+func TestDistributionObserveTuples(t *testing.T) {
+	d := NewDistribution()
+	d.ObserveTuples([]stream.Tuple{{Key: 1}, {Key: 1}, {Key: 2}})
+	if d.Total() != 3 || d.DistinctKeys() != 2 {
+		t.Errorf("total=%d distinct=%d", d.Total(), d.DistinctKeys())
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	d := NewDistribution()
+	// 10 keys: key 0 has 91 observations, keys 1..9 have 1 each.
+	for i := 0; i < 91; i++ {
+		d.Observe(0)
+	}
+	for k := stream.Key(1); k < 10; k++ {
+		d.Observe(k)
+	}
+	if got := d.TopShare(0.1); got != 0.91 {
+		t.Errorf("TopShare(0.1) = %f, want 0.91", got)
+	}
+	if got := d.TopShare(1.0); got != 1.0 {
+		t.Errorf("TopShare(1.0) = %f, want 1", got)
+	}
+}
+
+func TestKeysForMass(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 80; i++ {
+		d.Observe(0)
+	}
+	for i := 0; i < 20; i++ {
+		d.Observe(stream.Key(1 + i%4))
+	}
+	// Key 0 alone covers 80% of mass -> 1 of 5 keys = 0.2.
+	if got := d.KeysForMass(0.8); got != 0.2 {
+		t.Errorf("KeysForMass(0.8) = %f, want 0.2", got)
+	}
+	if got := d.KeysForMass(1.0); got != 1.0 {
+		t.Errorf("KeysForMass(1.0) = %f, want 1", got)
+	}
+}
+
+func TestTopShareKeysForMassDuality(t *testing.T) {
+	// TopShare(KeysForMass(m)) >= m for any observed distribution.
+	z := NewZipf(500, 1.2, 9)
+	d := NewDistribution()
+	for i := 0; i < 50000; i++ {
+		d.Observe(z.Sample())
+	}
+	for _, m := range []float64{0.5, 0.8, 0.95} {
+		kf := d.KeysForMass(m)
+		if got := d.TopShare(kf); got < m-1e-9 {
+			t.Errorf("TopShare(KeysForMass(%f)=%f) = %f < %f", m, kf, got, m)
+		}
+	}
+}
+
+func TestStatsValidation(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(1)
+	for _, f := range []func(){
+		func() { d.TopShare(0) },
+		func() { d.TopShare(1.5) },
+		func() { d.KeysForMass(0) },
+		func() { d.KeysForMass(2) },
+		func() { d.CDF(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid argument")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	z := NewZipf(200, 1.0, 4)
+	d := NewDistribution()
+	for i := 0; i < 20000; i++ {
+		d.Observe(z.Sample())
+	}
+	cdf := d.CDF(11)
+	if len(cdf) != 11 {
+		t.Fatalf("len = %d, want 11", len(cdf))
+	}
+	if cdf[0].MassFrac != 0 {
+		t.Errorf("CDF must start at 0, got %f", cdf[0].MassFrac)
+	}
+	if math.Abs(cdf[10].MassFrac-1) > 1e-9 {
+		t.Errorf("CDF must end at 1, got %f", cdf[10].MassFrac)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].MassFrac < cdf[i-1].MassFrac {
+			t.Errorf("CDF not monotone at %d", i)
+		}
+		// Concavity of a sorted-descending CDF: each marginal contribution
+		// shrinks, so mass grows at least as fast as keys early on.
+		if cdf[i].MassFrac < cdf[i].KeyFrac-1e-9 {
+			t.Errorf("CDF below diagonal at %d: key=%f mass=%f", i, cdf[i].KeyFrac, cdf[i].MassFrac)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	d := NewDistribution()
+	if got := d.CDF(5); got != nil {
+		t.Errorf("empty CDF = %v, want nil", got)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 100; i++ {
+		d.Observe(stream.Key(i % 10))
+	}
+	s := d.String()
+	for _, want := range []string{"keys=10", "tuples=100", "c=10.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestRideHailingSkewMatchesPaper(t *testing.T) {
+	// Fig. 1(a): ~20% of locations hold ~80% of orders.
+	// Fig. 1(b): ~24% of locations hold ~80% of tracks.
+	cfg := DefaultRideHailingConfig()
+	cfg.GridWidth, cfg.GridHeight = 50, 50
+	rh := NewRideHailing(cfg)
+
+	check := func(name string, src *Source, wantKeyFrac float64) {
+		t.Helper()
+		d := NewDistribution()
+		for i := 0; i < 200000; i++ {
+			d.Observe(src.Next().Key)
+		}
+		got := d.KeysForMass(0.8)
+		if math.Abs(got-wantKeyFrac) > 0.05 {
+			t.Errorf("%s: keys for 80%% mass = %f, want ~%f", name, got, wantKeyFrac)
+		}
+	}
+	check("orders", rh.R, 0.20)
+	check("tracks", rh.S, 0.24)
+}

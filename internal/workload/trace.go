@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fastjoin/internal/stream"
+)
+
+// Trace I/O: persist and replay tuple streams as CSV, so users who do have
+// access to real datasets (e.g. the DiDi GAIA records the paper uses) can
+// convert them once and feed them to the system, and so experiments can be
+// archived and replayed bit-for-bit.
+//
+// Format, one tuple per row:
+//
+//	side,key,seq,event_time_ns
+//
+// where side is "R" or "S". Payloads are not persisted (the join operates
+// on keys; payloads are application-specific).
+
+// traceHeader is the expected first row.
+var traceHeader = []string{"side", "key", "seq", "event_time_ns"}
+
+// WriteTrace writes tuples as CSV, including the header row.
+func WriteTrace(w io.Writer, tuples []stream.Tuple) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: write trace header: %w", err)
+	}
+	row := make([]string, 4)
+	for _, t := range tuples {
+		if !t.Side.Valid() {
+			return fmt.Errorf("workload: tuple %v has invalid side", t)
+		}
+		row[0] = t.Side.String()
+		row[1] = strconv.FormatUint(t.Key, 10)
+		row[2] = strconv.FormatUint(t.Seq, 10)
+		row[3] = strconv.FormatInt(t.EventTime, 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: write trace row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TraceReader streams tuples from a CSV trace.
+type TraceReader struct {
+	cr   *csv.Reader
+	line int
+}
+
+// NewTraceReader wraps a CSV trace, validating the header row.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read trace header: %w", err)
+	}
+	for i, want := range traceHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("workload: trace header %v, want %v", header, traceHeader)
+		}
+	}
+	return &TraceReader{cr: cr, line: 1}, nil
+}
+
+// Next returns the next tuple; io.EOF signals the end of the trace.
+func (tr *TraceReader) Next() (stream.Tuple, error) {
+	row, err := tr.cr.Read()
+	if err != nil {
+		if err == io.EOF {
+			return stream.Tuple{}, io.EOF
+		}
+		return stream.Tuple{}, fmt.Errorf("workload: read trace: %w", err)
+	}
+	tr.line++
+	var t stream.Tuple
+	switch row[0] {
+	case "R":
+		t.Side = stream.R
+	case "S":
+		t.Side = stream.S
+	default:
+		return stream.Tuple{}, fmt.Errorf("workload: trace line %d: bad side %q", tr.line, row[0])
+	}
+	if t.Key, err = strconv.ParseUint(row[1], 10, 64); err != nil {
+		return stream.Tuple{}, fmt.Errorf("workload: trace line %d: bad key: %w", tr.line, err)
+	}
+	if t.Seq, err = strconv.ParseUint(row[2], 10, 64); err != nil {
+		return stream.Tuple{}, fmt.Errorf("workload: trace line %d: bad seq: %w", tr.line, err)
+	}
+	if t.EventTime, err = strconv.ParseInt(row[3], 10, 64); err != nil {
+		return stream.Tuple{}, fmt.Errorf("workload: trace line %d: bad event time: %w", tr.line, err)
+	}
+	return t, nil
+}
+
+// ReadTrace loads a whole trace into memory.
+func ReadTrace(r io.Reader) ([]stream.Tuple, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []stream.Tuple
+	for {
+		t, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// TraceSource adapts a TraceReader to a pull-based tuple source; malformed
+// rows end the stream (the error is reported through errOut if non-nil).
+func TraceSource(tr *TraceReader, errOut func(error)) func() (stream.Tuple, bool) {
+	done := false
+	return func() (stream.Tuple, bool) {
+		if done {
+			return stream.Tuple{}, false
+		}
+		t, err := tr.Next()
+		if err != nil {
+			done = true
+			if err != io.EOF && errOut != nil {
+				errOut(err)
+			}
+			return stream.Tuple{}, false
+		}
+		return t, true
+	}
+}

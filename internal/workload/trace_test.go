@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"fastjoin/internal/stream"
+)
+
+func sampleTuples() []stream.Tuple {
+	return []stream.Tuple{
+		{Side: stream.R, Key: 1, Seq: 0, EventTime: 100},
+		{Side: stream.S, Key: 2, Seq: 0, EventTime: 150},
+		{Side: stream.R, Key: 1, Seq: 1, EventTime: 200},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTrace(&sb, sampleTuples()); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	want := sampleTuples()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tuple %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraceHeaderValidation(t *testing.T) {
+	if _, err := NewTraceReader(strings.NewReader("a,b,c,d\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := NewTraceReader(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestTraceBadRows(t *testing.T) {
+	cases := []string{
+		"side,key,seq,event_time_ns\nX,1,2,3\n",  // bad side
+		"side,key,seq,event_time_ns\nR,x,2,3\n",  // bad key
+		"side,key,seq,event_time_ns\nR,1,y,3\n",  // bad seq
+		"side,key,seq,event_time_ns\nR,1,2,zz\n", // bad time
+	}
+	for i, in := range cases {
+		tr, err := NewTraceReader(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("case %d header: %v", i, err)
+		}
+		if _, err := tr.Next(); err == nil || err == io.EOF {
+			t.Errorf("case %d: bad row accepted", i)
+		}
+	}
+}
+
+func TestWriteTraceRejectsInvalidSide(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTrace(&sb, []stream.Tuple{{Side: stream.Side(9)}})
+	if err == nil {
+		t.Error("invalid side written")
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTrace(&sb, sampleTuples()); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	tr, err := NewTraceReader(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("NewTraceReader: %v", err)
+	}
+	src := TraceSource(tr, nil)
+	count := 0
+	for {
+		_, ok := src()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Errorf("source yielded %d tuples, want 3", count)
+	}
+	// Exhausted source stays exhausted.
+	if _, ok := src(); ok {
+		t.Error("source revived after EOF")
+	}
+}
+
+func TestTraceSourceReportsErrors(t *testing.T) {
+	tr, err := NewTraceReader(strings.NewReader("side,key,seq,event_time_ns\nR,1,2,3\nX,1,2,3\n"))
+	if err != nil {
+		t.Fatalf("NewTraceReader: %v", err)
+	}
+	var reported error
+	src := TraceSource(tr, func(e error) { reported = e })
+	if _, ok := src(); !ok {
+		t.Fatal("first (valid) row rejected")
+	}
+	if _, ok := src(); ok {
+		t.Fatal("bad row accepted")
+	}
+	if reported == nil {
+		t.Error("error not reported")
+	}
+}
+
+func TestTraceRoundTripGenerated(t *testing.T) {
+	// Round-trip a generated ride-hailing prefix.
+	cfg := DefaultRideHailingConfig()
+	cfg.GridWidth, cfg.GridHeight = 10, 10
+	rh := NewRideHailing(cfg)
+	tuples := rh.Pair.Interleave(500)
+	// Strip payloads: traces persist the join-relevant fields only.
+	for i := range tuples {
+		tuples[i].Payload = nil
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, tuples); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	for i := range tuples {
+		if got[i] != tuples[i] {
+			t.Fatalf("tuple %d mismatch: %+v vs %+v", i, got[i], tuples[i])
+		}
+	}
+}

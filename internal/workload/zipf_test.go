@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"fastjoin/internal/stream"
+)
+
+func TestZipfValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		theta float64
+	}{
+		{0, 1}, {-1, 1}, {10, -0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %f) should panic", tc.n, tc.theta)
+				}
+			}()
+			NewZipf(tc.n, tc.theta, 1)
+		}()
+	}
+}
+
+func TestZipfDeterministicBySeed(t *testing.T) {
+	a := NewZipf(1000, 1.0, 42)
+	b := NewZipf(1000, 1.0, 42)
+	for i := 0; i < 100; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed must give same samples")
+		}
+	}
+}
+
+func TestZipfSamplesInRange(t *testing.T) {
+	z := NewZipf(50, 2.0, 7)
+	for i := 0; i < 10000; i++ {
+		if k := z.Sample(); k >= 50 {
+			t.Fatalf("sample %d out of range", k)
+		}
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(100, 1.5, 1)
+	var sum float64
+	for i := 0; i < 100; i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %f, want 1", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(100) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfProbMonotone(t *testing.T) {
+	z := NewZipf(100, 1.0, 1)
+	for i := 1; i < 100; i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("Prob(%d)=%g > Prob(%d)=%g", i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	z := NewZipf(10, 0, 1)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Errorf("Prob(%d) = %f, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesTheory(t *testing.T) {
+	const n, samples = 20, 200000
+	z := NewZipf(n, 1.0, 3)
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[z.Sample()]++
+	}
+	for rank := 0; rank < 5; rank++ {
+		want := z.Prob(rank)
+		got := float64(counts[rank]) / samples
+		if math.Abs(got-want) > want*0.1 {
+			t.Errorf("rank %d: empirical %f vs theoretical %f", rank, got, want)
+		}
+	}
+}
+
+func TestZipfHigherThetaMoreSkew(t *testing.T) {
+	z1 := NewZipf(1000, 1.0, 1)
+	z2 := NewZipf(1000, 2.0, 1)
+	if z2.TopShare(0.01) <= z1.TopShare(0.01) {
+		t.Errorf("theta=2 top share %f should exceed theta=1 top share %f",
+			z2.TopShare(0.01), z1.TopShare(0.01))
+	}
+}
+
+func TestZipfTopShareBounds(t *testing.T) {
+	z := NewZipf(100, 1.0, 1)
+	if got := z.TopShare(1.0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("TopShare(1) = %f, want 1", got)
+	}
+	if got := z.TopShare(0.001); got <= 0 {
+		t.Errorf("TopShare(tiny) = %f, want > 0", got)
+	}
+	for _, p := range []float64{0, -1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TopShare(%f) should panic", p)
+				}
+			}()
+			z.TopShare(p)
+		}()
+	}
+}
+
+func TestZipfShuffledPreservesDistributionShape(t *testing.T) {
+	const n, samples = 100, 100000
+	z := NewZipfShuffled(n, 1.5, 5)
+	counts := make(map[stream.Key]int)
+	for i := 0; i < samples; i++ {
+		counts[z.Sample()]++
+	}
+	// The max frequency must match the theoretical hottest-rank mass even
+	// though the identity of the hot key is permuted.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	want := z.Prob(0)
+	got := float64(max) / samples
+	if math.Abs(got-want) > want*0.1 {
+		t.Errorf("hottest key frequency %f, want ~%f", got, want)
+	}
+}
+
+func TestZipfPermSharedHotKeys(t *testing.T) {
+	// Two samplers with the same permSeed must agree on which key is
+	// hottest.
+	a := NewZipfPerm(1000, 1.5, 1, 99)
+	b := NewZipfPerm(1000, 2.0, 2, 99)
+	hot := func(z *Zipf) stream.Key {
+		counts := make(map[stream.Key]int)
+		for i := 0; i < 50000; i++ {
+			counts[z.Sample()]++
+		}
+		var best stream.Key
+		bestC := -1
+		for k, c := range counts {
+			if c > bestC {
+				best, bestC = k, c
+			}
+		}
+		return best
+	}
+	if hot(a) != hot(b) {
+		t.Error("same permSeed should share the hottest key")
+	}
+}
+
+func TestCalibrateTheta(t *testing.T) {
+	theta := CalibrateTheta(10000, 0.20, 0.80)
+	z := NewZipf(10000, theta, 1)
+	got := z.TopShare(0.20)
+	if math.Abs(got-0.80) > 0.02 {
+		t.Errorf("calibrated top-20%% share = %f, want ~0.80 (theta=%f)", got, theta)
+	}
+}
+
+func TestCalibrateThetaDegenerate(t *testing.T) {
+	if got := CalibrateTheta(1, 0.2, 0.8); got != 0 {
+		t.Errorf("CalibrateTheta(1, ...) = %f, want 0", got)
+	}
+}
+
+func TestZipfCardinality(t *testing.T) {
+	if got := NewZipf(77, 1, 1).Cardinality(); got != 77 {
+		t.Errorf("Cardinality = %d, want 77", got)
+	}
+}

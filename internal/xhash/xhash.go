@@ -1,0 +1,70 @@
+// Package xhash provides the key hashing used by the dispatcher to map join
+// keys onto join instances, plus small helpers for seeded, reproducible
+// hashing of strings and byte slices.
+//
+// The dispatcher in a join-biclique system must map the same key to the same
+// instance on every task and every node, so the hash must be deterministic
+// and independent of process state. We use a 64-bit FNV-1a core with an
+// optional seed mix (splitmix64 finalizer) so tests can derandomize
+// placements and benchmarks can vary them.
+package xhash
+
+import "math/bits"
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Uint64 hashes a 64-bit key with a splitmix64-style finalizer. It is a
+// bijection, so distinct keys never collide at this stage; collisions only
+// appear when reducing modulo the partition count.
+func Uint64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Seeded hashes a 64-bit key mixed with a seed. Different seeds give
+// independent-looking placements of the same key universe.
+func Seeded(x, seed uint64) uint64 {
+	return Uint64(x ^ bits.RotateLeft64(Uint64(seed), 31))
+}
+
+// Bytes hashes a byte slice with FNV-1a.
+func Bytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// String hashes a string with FNV-1a without allocating.
+func String(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Partition maps a key to one of n partitions (n > 0). It hashes first, so
+// consecutive keys spread across partitions rather than striping.
+func Partition(key uint64, n int) int {
+	if n <= 0 {
+		panic("xhash: Partition requires n > 0")
+	}
+	return int(Uint64(key) % uint64(n))
+}
+
+// SeededPartition maps a key to one of n partitions under a placement seed.
+func SeededPartition(key, seed uint64, n int) int {
+	if n <= 0 {
+		panic("xhash: SeededPartition requires n > 0")
+	}
+	return int(Seeded(key, seed) % uint64(n))
+}

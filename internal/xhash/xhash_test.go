@@ -1,0 +1,136 @@
+package xhash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64Deterministic(t *testing.T) {
+	for _, x := range []uint64{0, 1, 42, math.MaxUint64} {
+		if Uint64(x) != Uint64(x) {
+			t.Errorf("Uint64(%d) not deterministic", x)
+		}
+	}
+}
+
+func TestUint64Injective(t *testing.T) {
+	// splitmix64 finalizer is a bijection; sample-check no collisions.
+	seen := make(map[uint64]uint64)
+	for x := uint64(0); x < 100000; x++ {
+		h := Uint64(x)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Uint64(%d) == Uint64(%d) == %d", x, prev, h)
+		}
+		seen[h] = x
+	}
+}
+
+func TestUint64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	const trials = 1000
+	totalFlipped := 0
+	for x := uint64(0); x < trials; x++ {
+		a := Uint64(x)
+		b := Uint64(x ^ 1)
+		diff := a ^ b
+		for diff != 0 {
+			totalFlipped++
+			diff &= diff - 1
+		}
+	}
+	avg := float64(totalFlipped) / trials
+	if avg < 24 || avg > 40 {
+		t.Errorf("avalanche average %f bits flipped, want ~32", avg)
+	}
+}
+
+func TestSeededVariesWithSeed(t *testing.T) {
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if Seeded(x, 1) == Seeded(x, 2) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/1000 keys hash identically under different seeds", same)
+	}
+}
+
+func TestBytesKnownValues(t *testing.T) {
+	// FNV-1a 64 reference values.
+	tests := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 14695981039346656037},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, tt := range tests {
+		if got := Bytes([]byte(tt.in)); got != tt.want {
+			t.Errorf("Bytes(%q) = %#x, want %#x", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStringMatchesBytes(t *testing.T) {
+	f := func(s string) bool { return String(s) == Bytes([]byte(s)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionInRange(t *testing.T) {
+	f := func(key uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := Partition(key, n)
+		return p >= 0 && p < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	const n, keys = 16, 160000
+	counts := make([]int, n)
+	for k := uint64(0); k < keys; k++ {
+		counts[Partition(k, n)]++
+	}
+	want := float64(keys) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("partition %d has %d keys, want ~%.0f (±5%%)", i, c, want)
+		}
+	}
+}
+
+func TestSeededPartitionInRange(t *testing.T) {
+	f := func(key, seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := SeededPartition(key, seed, n)
+		return p >= 0 && p < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Partition(_, 0) should panic")
+		}
+	}()
+	Partition(1, 0)
+}
+
+func TestSeededPartitionPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SeededPartition(_, _, 0) should panic")
+		}
+	}()
+	SeededPartition(1, 1, 0)
+}

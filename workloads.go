@@ -1,0 +1,334 @@
+package fastjoin
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"fastjoin/internal/stream"
+	"fastjoin/internal/workload"
+)
+
+// This file exposes the evaluation workload generators through the public
+// API so applications and examples can reproduce the paper's inputs without
+// reaching into internal packages.
+
+// Workload bundles the sources of a two-stream workload, ready to drop into
+// Options.Sources.
+type Workload struct {
+	// Sources ingests both streams (already interleaved at the workload's
+	// natural rate ratio).
+	Sources []TupleSource
+	// Description summarizes the workload for logs and reports.
+	Description string
+}
+
+// RideHailingOptions parameterizes the synthetic DiDi-style workload that
+// stands in for the paper's proprietary GAIA dataset.
+type RideHailingOptions struct {
+	// Cells is the number of grid locations (keys); default 10000.
+	Cells int
+	// Tuples bounds the total tuples generated (0 = unbounded).
+	Tuples int
+	// Rate paces emission in tuples/second (0 = unlimited).
+	Rate float64
+	// TracksPerOrder is the S:R rate ratio; default 4.
+	TracksPerOrder int
+	// Parallel is the number of ingestion tasks (default 1). Parallel
+	// sources share the hot cells but sample independently, and emit
+	// disjoint sequence-number spaces.
+	Parallel int
+	// Seed derandomizes generation.
+	Seed int64
+}
+
+// NewRideHailingWorkload builds the passenger-order / taxi-track workload
+// calibrated to the skew the paper reports (Fig. 1a/1b).
+func NewRideHailingWorkload(opts RideHailingOptions) Workload {
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
+	sources := make([]TupleSource, parallel)
+	for i := 0; i < parallel; i++ {
+		cfg := workload.DefaultRideHailingConfig()
+		if opts.Cells > 0 {
+			side := isqrt(opts.Cells)
+			cfg.GridWidth, cfg.GridHeight = side, (opts.Cells+side-1)/side
+		}
+		if opts.TracksPerOrder > 0 {
+			cfg.TracksPerOrder = opts.TracksPerOrder
+		}
+		if opts.Seed != 0 {
+			cfg.Seed = opts.Seed
+		}
+		cfg.Variant = i
+		rh := workload.NewRideHailing(cfg)
+		rh.R.WithSeqStride(uint64(i), uint64(parallel))
+		rh.S.WithSeqStride(uint64(i), uint64(parallel))
+		sources[i] = boundedPairSource(rh.Pair, shareOf(opts.Tuples, parallel, i), opts.Rate/float64(parallel))
+	}
+	return Workload{
+		Sources:     sources,
+		Description: "ride-hailing (DiDi-style): orders ⋈ taxi tracks on grid cell",
+	}
+}
+
+// shareOf splits a budget across p workers; worker i gets the remainder's
+// extra tuple when the budget does not divide evenly. A zero budget stays
+// unbounded for every worker.
+func shareOf(total, p, i int) int {
+	if total <= 0 {
+		return 0
+	}
+	share := total / p
+	if i < total%p {
+		share++
+	}
+	if share == 0 {
+		share = 1
+	}
+	return share
+}
+
+// AdClicksOptions parameterizes the Photon-style query/click workload.
+type AdClicksOptions struct {
+	// Ads is the number of distinct ad ids; default 20000.
+	Ads int
+	// Tuples bounds the total tuples generated (0 = unbounded).
+	Tuples int
+	// Rate paces emission in tuples/second (0 = unlimited).
+	Rate float64
+	// Seed derandomizes generation.
+	Seed int64
+}
+
+// NewAdClicksWorkload builds the Photon-style ad-analytics workload: a
+// dense search-query stream joined with a sparse click stream on ad id.
+func NewAdClicksWorkload(opts AdClicksOptions) Workload {
+	cfg := workload.DefaultAdClicksConfig()
+	if opts.Ads > 0 {
+		cfg.Ads = opts.Ads
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	ac := workload.NewAdClicks(cfg)
+	// Queries are the dense stream here: interleave QueriesPerClick
+	// queries per click.
+	pair := workload.Pair{R: ac.Queries, S: ac.Clicks, SPerR: 1}
+	i, per := 0, cfg.QueriesPerClick
+	next := func() stream.Tuple {
+		i++
+		if i%(per+1) == 0 {
+			return pair.S.Next()
+		}
+		return pair.R.Next()
+	}
+	return Workload{
+		Sources:     []TupleSource{boundedFuncSource(next, opts.Tuples, opts.Rate)},
+		Description: "ad analytics (Photon-style): queries ⋈ clicks on ad id",
+	}
+}
+
+// ZipfOptions parameterizes the synthetic skew-group workloads of
+// Figs. 12/13 ("Gxy": stream R zipf exponent x, stream S exponent y).
+type ZipfOptions struct {
+	// Keys is the key-universe size per stream; default 10000
+	// (the paper uses 10 million keys and 300 million tuples).
+	Keys int
+	// ThetaR and ThetaS are the zipf exponents (0 = uniform).
+	ThetaR, ThetaS float64
+	// Tuples bounds the total tuples generated (0 = unbounded).
+	Tuples int
+	// Rate paces emission in tuples/second (0 = unlimited).
+	Rate float64
+	// Parallel is the number of ingestion tasks (default 1).
+	Parallel int
+	// Seed derandomizes generation.
+	Seed int64
+}
+
+// NewZipfWorkload builds one of the paper's synthetic skew groups.
+func NewZipfWorkload(opts ZipfOptions) Workload {
+	keys := opts.Keys
+	if keys <= 0 {
+		keys = 10000
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
+	permSeed := seed ^ 0x1f83d9ab
+	sources := make([]TupleSource, parallel)
+	for i := 0; i < parallel; i++ {
+		sampleSeed := seed + int64(i)*7919
+		r := workload.NewSource(stream.R, workload.NewZipfPerm(keys, opts.ThetaR, sampleSeed+1, permSeed), nil).
+			WithSeqStride(uint64(i), uint64(parallel))
+		s := workload.NewSource(stream.S, workload.NewZipfPerm(keys, opts.ThetaS, sampleSeed+2, permSeed), nil).
+			WithSeqStride(uint64(i), uint64(parallel))
+		pair := workload.Pair{R: r, S: s, SPerR: 1}
+		sources[i] = boundedPairSource(pair, shareOf(opts.Tuples, parallel, i), opts.Rate/float64(parallel))
+	}
+	return Workload{
+		Sources:     sources,
+		Description: "synthetic zipf streams",
+	}
+}
+
+// NewTraceWorkload replays a CSV trace file (as written by
+// workload.WriteTrace or `fastjoin-gen -trace`): one ingestion task
+// streaming the file's tuples in order. The file closes when the source is
+// exhausted or hits a malformed row.
+func NewTraceWorkload(path string) (Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Workload{}, fmt.Errorf("fastjoin: open trace: %w", err)
+	}
+	tr, err := workload.NewTraceReader(f)
+	if err != nil {
+		f.Close()
+		return Workload{}, err
+	}
+	inner := workload.TraceSource(tr, nil)
+	done := false
+	src := func() (stream.Tuple, bool) {
+		if done {
+			return stream.Tuple{}, false
+		}
+		t, ok := inner()
+		if !ok {
+			done = true
+			f.Close()
+			return stream.Tuple{}, false
+		}
+		return t, true
+	}
+	return Workload{
+		Sources:     []TupleSource{src},
+		Description: "trace replay: " + path,
+	}, nil
+}
+
+// boundedPairSource adapts an interleaved Pair to a TupleSource with an
+// optional tuple budget and rate limit.
+func boundedPairSource(p workload.Pair, limit int, rate float64) TupleSource {
+	if p.SPerR < 1 {
+		p.SPerR = 1
+	}
+	i := 0
+	next := func() stream.Tuple {
+		var t stream.Tuple
+		if i%(p.SPerR+1) == 0 {
+			t = p.R.Next()
+		} else {
+			t = p.S.Next()
+		}
+		i++
+		return t
+	}
+	return boundedFuncSource(next, limit, rate)
+}
+
+// boundedFuncSource wraps a generator with a tuple budget and rate limit.
+func boundedFuncSource(next func() stream.Tuple, limit int, rate float64) TupleSource {
+	produced := 0
+	var pace func()
+	if rate > 0 {
+		interval := time.Duration(float64(time.Second) / rate)
+		nextAt := time.Now()
+		pace = func() {
+			nextAt = nextAt.Add(interval)
+			if d := time.Until(nextAt); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return func() (stream.Tuple, bool) {
+		if limit > 0 && produced >= limit {
+			return stream.Tuple{}, false
+		}
+		if pace != nil {
+			pace()
+		}
+		produced++
+		return next(), true
+	}
+}
+
+// isqrt returns the integer square root of n (floor), n >= 0.
+func isqrt(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// DriftOptions parameterizes a workload whose hot keys move over time —
+// the dynamic-workload scenario the paper's introduction motivates, where
+// no static assignment stays balanced.
+type DriftOptions struct {
+	// Keys is the key universe size; default 10000.
+	Keys int
+	// Theta is the zipf exponent of both streams; default 1.0.
+	Theta float64
+	// ShiftEvery is how many tuples (per stream) pass between hot-set
+	// shifts; default 100000.
+	ShiftEvery int64
+	// Step is how far the hot set moves per shift; default Keys/7+1.
+	Step int
+	// Tuples bounds the total tuples generated (0 = unbounded).
+	Tuples int
+	// Rate paces emission in tuples/second (0 = unlimited).
+	Rate float64
+	// Seed derandomizes generation.
+	Seed int64
+}
+
+// NewDriftingWorkload builds a two-stream workload with a moving hot set;
+// both streams shift in lockstep so each epoch's hot keys are shared.
+func NewDriftingWorkload(opts DriftOptions) Workload {
+	keys := opts.Keys
+	if keys <= 0 {
+		keys = 10000
+	}
+	theta := opts.Theta
+	if theta <= 0 {
+		theta = 1.0
+	}
+	period := opts.ShiftEvery
+	if period <= 0 {
+		period = 100000
+	}
+	step := opts.Step
+	if step <= 0 {
+		step = keys/7 + 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	permSeed := seed ^ 0x2b7e1516
+	r := workload.NewSource(stream.R,
+		workload.NewDriftingZipf(keys, theta, period, step, seed+1, permSeed), nil)
+	s := workload.NewSource(stream.S,
+		workload.NewDriftingZipf(keys, theta, period, step, seed+2, permSeed), nil)
+	pair := workload.Pair{R: r, S: s, SPerR: 1}
+	return Workload{
+		Sources:     []TupleSource{boundedPairSource(pair, opts.Tuples, opts.Rate)},
+		Description: "drifting-hotspot zipf streams",
+	}
+}
