@@ -1,0 +1,36 @@
+GO      ?= go
+PKGS    ?= ./...
+# Concurrency-critical packages: the fast race gate stays under ~1 minute
+# so it can run on every local iteration.
+RACE_FAST_PKGS = ./internal/engine ./internal/biclique ./internal/transport
+
+.PHONY: build test lint vet race race-fast bench ci
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+## lint: fastjoin-lint (unboundedchan, lockguard, goroutinestop, panicpath)
+## plus the stock go vet passes. See LINTING.md.
+lint:
+	$(GO) run ./cmd/fastjoin-lint $(PKGS)
+
+## race: the full race-enabled test run the CI gate enforces.
+race:
+	$(GO) test -race -count=1 $(PKGS)
+
+## race-fast: race smoke test scoped to the engine/biclique/transport
+## concurrency core, for local iteration.
+race-fast:
+	$(GO) test -race -count=1 $(RACE_FAST_PKGS)
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x $(PKGS)
+
+## ci: everything the CI workflow gates on. `lint` includes go vet.
+ci: build lint test race

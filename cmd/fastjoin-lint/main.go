@@ -1,0 +1,124 @@
+// Command fastjoin-lint is the project's concurrency multichecker: it runs
+// the codebase-aware analyzers of internal/lint (unboundedchan, lockguard,
+// goroutinestop, panicpath) and, by default, the stock `go vet` passes over
+// the same packages.
+//
+// Usage:
+//
+//	go run ./cmd/fastjoin-lint [-list] [-vet=false] [packages...]
+//
+// With no package arguments it analyzes ./.... The exit status is non-zero
+// if any analyzer reports a finding or go vet fails, which is what `make
+// lint` and the CI gate key on. Findings are suppressed line-by-line with
+//
+//	//lint:allow <analyzer> <justification>
+//
+// as documented in LINTING.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"fastjoin/internal/lint"
+	"fastjoin/internal/lint/analysis"
+	"fastjoin/internal/lint/loader"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	vet := flag.Bool("vet", true, "also run the stock go vet passes")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastjoin-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		category  string
+		message   string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report: func(d analysis.Diagnostic) {
+					pos := pkg.Fset.Position(d.Pos)
+					findings = append(findings, finding{
+						file: relPath(pos.Filename), line: pos.Line, col: pos.Column,
+						category: d.Category, message: d.Message,
+					})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "fastjoin-lint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].file != findings[j].file {
+			return findings[i].file < findings[j].file
+		}
+		if findings[i].line != findings[j].line {
+			return findings[i].line < findings[j].line
+		}
+		return findings[i].col < findings[j].col
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.message, f.category)
+	}
+
+	failed := len(findings) > 0
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// relPath shortens a filename to be relative to the working directory when
+// possible.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil {
+		return path
+	}
+	return rel
+}

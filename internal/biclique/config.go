@@ -142,6 +142,11 @@ func (c *Config) Validate() error {
 	if c.EmitResults && c.OnResult == nil {
 		return fmt.Errorf("biclique: EmitResults requires OnResult")
 	}
+	if c.Strategy > StrategyRandom {
+		// Converted from a panic in newRouter: an out-of-range strategy now
+		// surfaces as a Start error instead of killing the dispatcher task.
+		return fmt.Errorf("biclique: unknown strategy %v", c.Strategy)
+	}
 	if c.Strategy != StrategyHash && c.Migration.Enabled {
 		return fmt.Errorf("biclique: migration requires StrategyHash, not %v", c.Strategy)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fastjoin/internal/routing"
+	"fastjoin/internal/stream"
 )
 
 func TestRouterFactory(t *testing.T) {
@@ -27,6 +28,17 @@ func TestRouterFactory(t *testing.T) {
 		}
 	}()
 	newRouter(cfg, 0)
+}
+
+func TestValidateRejectsUnknownStrategy(t *testing.T) {
+	cfg := Config{
+		JoinersPerSide: 2,
+		Strategy:       Strategy(99),
+		Sources:        []TupleSource{func() (t stream.Tuple, ok bool) { return }},
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate should reject an unknown strategy before newRouter can panic")
+	}
 }
 
 func TestStrategyString(t *testing.T) {

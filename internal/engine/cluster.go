@@ -279,7 +279,7 @@ func (c *LocalCluster) route(tk *task, sub *runtimeSub, value any, directTask in
 		enqueue(sub.target[0])
 	case groupDirect:
 		if directTask < 0 || directTask >= n {
-			panic(fmt.Sprintf("engine: direct emit to task %d of %d on stream %q",
+			panic(fmt.Sprintf("engine: direct emit to task %d of %d on stream %q", //lint:allow panicpath direct-emit target out of range is a routing invariant violation; recovered and counted per task
 				directTask, n, sub.stream))
 		}
 		enqueue(sub.target[directTask])
@@ -398,7 +398,7 @@ func (o *Collector) Emit(stream string, value any) {
 			continue
 		}
 		if sub.kind == groupDirect {
-			panic(fmt.Sprintf("engine: Emit on direct stream %q; use EmitDirect", stream))
+			panic(fmt.Sprintf("engine: Emit on direct stream %q; use EmitDirect", stream)) //lint:allow panicpath Emit on a direct stream is a topology programming error; recovered and counted per task
 		}
 		o.cluster.route(o.task, sub, value, -1)
 	}
@@ -412,7 +412,7 @@ func (o *Collector) EmitDirect(stream string, targetTask int, value any) {
 			continue
 		}
 		if sub.kind != groupDirect {
-			panic(fmt.Sprintf("engine: EmitDirect on non-direct stream %q", stream))
+			panic(fmt.Sprintf("engine: EmitDirect on non-direct stream %q", stream)) //lint:allow panicpath EmitDirect on a non-direct stream is a topology programming error; recovered and counted per task
 		}
 		o.cluster.route(o.task, sub, value, targetTask)
 	}

@@ -1,0 +1,135 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// used by the fastjoin-lint suite.
+//
+// The build environment for this repository is fully offline, so the real
+// x/tools module cannot be vendored; this package provides the same shape
+// on top of the standard library's go/ast and go/types. Analyzers written
+// against it port to the upstream framework by changing one import line.
+//
+// The one deliberate extension is the //lint:allow escape hatch: a comment
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [justification]
+//
+// placed on the flagged line or the line directly above it suppresses the
+// diagnostic. Every suppression should carry a justification; the linters
+// encode protocol invariants (bounded queues, lock discipline, goroutine
+// lifecycle, panic-free library paths) and an allow without a reason is a
+// review smell.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow comments.
+	// It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by fastjoin-lint -list.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name
+	Message  string
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives every diagnostic that survives //lint:allow
+	// filtering. The driver sets it.
+	Report func(Diagnostic)
+
+	allow map[allowKey]bool
+}
+
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// allowRE matches the escape-hatch directive. The directive must start the
+// comment: "//lint:allow name1,name2 free-form justification".
+var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,]+)`)
+
+// buildAllow indexes every //lint:allow directive in the pass's files by
+// (file, line, analyzer name). A trailing directive suppresses its own
+// line; a standalone directive (no code on its line) also suppresses the
+// line below, so it can sit above the flagged statement.
+func (p *Pass) buildAllow() {
+	p.allow = make(map[allowKey]bool)
+	for _, f := range p.Files {
+		code := codeLines(p.Fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					p.allow[allowKey{pos.Filename, pos.Line, name}] = true
+					if !code[pos.Line] {
+						p.allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// codeLines returns the set of lines of f that contain non-comment code.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Allowed reports whether a diagnostic of this pass's analyzer at pos is
+// suppressed by a //lint:allow directive.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allow == nil {
+		p.buildAllow()
+	}
+	pp := p.Fset.Position(pos)
+	return p.allow[allowKey{pp.Filename, pp.Line, p.Analyzer.Name}]
+}
+
+// Reportf reports a formatted diagnostic at pos unless it is allowlisted.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

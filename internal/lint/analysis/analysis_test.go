@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+func a() {
+	_ = 1 //lint:allow checkme same-line suppression
+	_ = 2
+	//lint:allow checkme,other comma list on preceding line
+	_ = 3
+	//lint:allow other different analyzer only
+	_ = 4
+}
+`
+
+// TestAllowDirectives exercises the //lint:allow matching rules: same
+// line, preceding line, comma-separated analyzer lists, and non-matching
+// analyzer names.
+func TestAllowDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reported []int
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "checkme"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report: func(d Diagnostic) {
+			reported = append(reported, fset.Position(d.Pos).Line)
+		},
+	}
+	// Report once from each assignment statement in the function body.
+	fn := f.Decls[0].(*ast.FuncDecl)
+	for _, stmt := range fn.Body.List {
+		pass.Reportf(stmt.Pos(), "finding")
+	}
+	// Line 4 is allowlisted inline, line 7 via the preceding comma list;
+	// lines 5 and 9 (directive names a different analyzer) must report.
+	want := []int{5, 9}
+	if len(reported) != len(want) {
+		t.Fatalf("reported lines %v, want %v", reported, want)
+	}
+	for i := range want {
+		if reported[i] != want[i] {
+			t.Fatalf("reported lines %v, want %v", reported, want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package analysistest is a small golden-comment harness for the lint
+// analyzers, modelled on golang.org/x/tools/go/analysis/analysistest.
+//
+// Test packages live under testdata/src/<name>/. Expected diagnostics are
+// declared in the source with trailing comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Every diagnostic must match a want-pattern on its line and every
+// want-pattern must be matched by a diagnostic; anything else fails the
+// test. Because expectations are positional, the harness also verifies the
+// //lint:allow escape hatch: an allowlisted line simply carries no want
+// comment.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fastjoin/internal/lint/analysis"
+	"fastjoin/internal/lint/loader"
+)
+
+// wantRE extracts the expectation list from a comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// quotedRE extracts each double-quoted pattern from an expectation list.
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one want-pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies the analyzer to each named package under testdata/src and
+// compares its diagnostics against the packages' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, testdata, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("%s: no Go files in %s", pkg, dir)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports, err := loader.ExportsFor(dir, imports)
+	if err != nil {
+		t.Fatalf("%s: resolving imports: %v", pkg, err)
+	}
+
+	info := loader.NewTypesInfo()
+	conf := types.Config{Importer: loader.NewExportImporter(fset, exports)}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typecheck: %v", pkg, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg, a.Name, err)
+	}
+
+	expects, err := collectExpectations(paths)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", pkg, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none",
+				pkg, e.pattern, e.file, e.line)
+		}
+	}
+}
+
+// collectExpectations scans the raw sources for want comments.
+func collectExpectations(paths []string) ([]*expectation, error) {
+	var out []*expectation
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRE.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", path, i+1)
+			}
+			for _, q := range quoted {
+				text, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad pattern %s: %v", path, i+1, q, err)
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad pattern %s: %v", path, i+1, q, err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// pattern matches message.
+func claim(expects []*expectation, file string, line int, message string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.pattern.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"fastjoin/internal/lint/analysis"
+)
+
+// GoroutineStop flags goroutine launches whose body spins in an unbounded
+// loop with no visible stop signal. Spouts, bolt executors, tickers and
+// connection pumps must all exit when the cluster's done/stop channels
+// close; a goroutine that only ever waits on work channels leaks past
+// Stop() and keeps queues (and the φ load statistics) alive after the
+// topology is gone.
+//
+// A launch is flagged when the launched body — a func literal or a
+// same-package function/method — contains a `for { ... }` loop (no
+// condition, no range) and nowhere receives from a shutdown-shaped signal:
+// a channel or context whose expression mentions done/stop/quit/close/
+// shutdown/cancel/ctx/exit, e.g. `<-c.done`, `case <-ctx.Done():`. Ranging
+// over a channel also counts as bounded (it ends when the channel closes).
+//
+// Justified exceptions carry //lint:allow goroutinestop <reason>.
+var GoroutineStop = &analysis.Analyzer{
+	Name: "goroutinestop",
+	Doc: "flags go statements whose body loops forever without selecting on a " +
+		"done/stop/context signal; such goroutines leak past cluster Stop()",
+	Run: runGoroutineStop,
+}
+
+// stopNameRE matches expressions that read as shutdown signals.
+var stopNameRE = regexp.MustCompile(`(?i)done|stop|quit|exit|clos|shutdown|cancel|ctx`)
+
+func runGoroutineStop(pass *analysis.Pass) (any, error) {
+	decls := funcDeclIndex(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := launchedBody(pass, decls, g.Call)
+			if body == nil {
+				return true // dynamic or cross-package target: out of scope
+			}
+			if !hasUnboundedLoop(body) || hasStopSignal(pass, body) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine runs an unbounded loop with no done/stop/context signal; it will leak past shutdown — select on a stop channel inside the loop")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// funcDeclIndex maps every function and method declared in the package to
+// its declaration, so `go c.run()` launches can be followed.
+func funcDeclIndex(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// launchedBody resolves the body a go statement will execute, when it is
+// statically known within this package.
+func launchedBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasUnboundedLoop reports whether body contains a `for {}`-style loop:
+// no condition and no range clause.
+func hasUnboundedLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// hasStopSignal reports whether body anywhere receives from a
+// shutdown-shaped expression or ranges over a channel.
+func hasStopSignal(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && stopNameRE.MatchString(types.ExprString(n.X)) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,23 @@
+package lint
+
+import (
+	"testing"
+
+	"fastjoin/internal/lint/analysistest"
+)
+
+func TestUnboundedChan(t *testing.T) {
+	analysistest.Run(t, "testdata", UnboundedChan, "unboundedchan")
+}
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", LockGuard, "lockguard")
+}
+
+func TestGoroutineStop(t *testing.T) {
+	analysistest.Run(t, "testdata", GoroutineStop, "goroutinestop")
+}
+
+func TestPanicPath(t *testing.T) {
+	analysistest.Run(t, "testdata", PanicPath, "panicpath", "panicpath/cmd")
+}

@@ -1,0 +1,200 @@
+// Package loader type-checks Go packages for the fastjoin-lint driver
+// without depending on golang.org/x/tools/go/packages.
+//
+// It shells out to the go tool twice: once to enumerate the target
+// packages, and once with -deps -export to obtain compiled export data for
+// every transitive dependency (standard library included). Targets are then
+// parsed with full comments and type-checked against that export data, so
+// analyzers see both syntax and types for the code under analysis while
+// dependencies stay cheap. Everything works from the local build cache —
+// no network, no GOPATH assumptions.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+// goList runs `go list -json=...` in dir with the given extra arguments and
+// decodes the concatenated JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decode: %v", args, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Load enumerates the packages matching patterns (relative to dir),
+// type-checks them and returns them in `go list` order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, e := range targets {
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		p, err := checkPackage(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportsFor builds an import-path -> export-data map covering the given
+// packages and all their transitive dependencies. The lint test harness
+// uses it to type-check testdata packages against the real standard
+// library.
+func ExportsFor(dir string, pkgs []string) (map[string]string, error) {
+	if len(pkgs) == 0 {
+		return map[string]string{}, nil
+	}
+	return exportMap(dir, pkgs)
+}
+
+func exportMap(dir string, patterns []string) (map[string]string, error) {
+	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, e := range deps {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// checkPackage parses and type-checks one target package.
+func checkPackage(fset *token.FileSet, imp types.ImporterFrom, e listEntry) (*Package, error) {
+	files := make([]*ast.File, 0, len(e.GoFiles))
+	for _, name := range e.GoFiles {
+		path := filepath.Join(e.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", e.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: e.ImportPath,
+		Name:       e.Name,
+		Dir:        e.Dir,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// exportImporter resolves imports from compiled export data via the
+// standard gc importer, with a shared cache across all target packages.
+type exportImporter struct {
+	gc types.ImporterFrom
+}
+
+// NewExportImporter wraps an export-data map in a types importer.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.ImporterFrom {
+	return newExportImporter(fset, exports)
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gc, ok := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	if !ok {
+		panic("loader: gc importer does not implement types.ImporterFrom") //lint:allow panicpath toolchain invariant: the gc importer always implements ImporterFrom
+	}
+	return &exportImporter{gc: gc}
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, "", 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return ei.gc.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,48 @@
+package loader
+
+import "testing"
+
+// TestLoadSelf loads this package through the export-data pipeline and
+// checks that syntax, types and comments all survive.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "loader" {
+		t.Errorf("package name = %q, want loader", p.Name)
+	}
+	if len(p.Syntax) == 0 || p.Types == nil || p.TypesInfo == nil {
+		t.Fatal("loaded package missing syntax or type information")
+	}
+	// Cross-module and stdlib imports must resolve from export data.
+	if p.Types.Scope().Lookup("Load") == nil {
+		t.Error("type information lacks the Load function")
+	}
+	comments := 0
+	for _, f := range p.Syntax {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Error("comments were not preserved; //lint:allow directives would be lost")
+	}
+}
+
+// TestLoadTransitive loads a package whose dependencies include other
+// module packages, exercising in-module export data.
+func TestLoadTransitive(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/lint")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "fastjoin/internal/lint" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+	if pkgs[0].Types.Scope().Lookup("All") == nil {
+		t.Error("type information lacks lint.All")
+	}
+}

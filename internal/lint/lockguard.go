@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"fastjoin/internal/lint/analysis"
+)
+
+// LockGuard flags struct fields that are accessed both while a mutex of
+// the same struct is held and at least once without it, anywhere in the
+// package's methods. That mixed pattern is the classic shape of a data
+// race on routing tables, migration state and metrics aggregates: the
+// author clearly considered the field shared (it has guarded accesses),
+// yet some path reaches it bare.
+//
+// The analysis is a package-local heuristic, not a proof:
+//
+//   - Only methods of the struct are examined, so constructors (which
+//     publish nothing) don't count as unguarded accesses.
+//   - Heldness is positional within a method body: a Lock() earlier in
+//     the source marks later accesses held until the matching Unlock();
+//     a deferred Unlock holds to the end of the method.
+//   - Fields whose types synchronize themselves (sync.*, sync/atomic.*,
+//     channels, or structs carrying their own mutex) are exempt.
+//
+// False positives are silenced with //lint:allow lockguard <reason>.
+var LockGuard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "flags struct fields accessed both with and without the struct's own " +
+		"mutex held; mixed access is the shape of a data race",
+	Run: runLockGuard,
+}
+
+// fieldKey identifies one field of one named struct type.
+type fieldKey struct {
+	typ   *types.Named
+	field string
+}
+
+// fieldUse is one access with its computed heldness.
+type fieldUse struct {
+	pos  token.Pos
+	held bool
+}
+
+func runLockGuard(pass *analysis.Pass) (any, error) {
+	guarded := guardedStructs(pass)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	uses := make(map[fieldKey][]fieldUse)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recv := receiverVar(pass, fd)
+			if recv == nil {
+				continue
+			}
+			named := namedRecvType(recv.Type())
+			if named == nil {
+				continue
+			}
+			mutexes, ok := guarded[named]
+			if !ok {
+				continue
+			}
+			collectMethodUses(pass, fd, recv, named, mutexes, uses)
+		}
+	}
+	report(pass, uses)
+	return nil, nil
+}
+
+// guardedStructs finds the named struct types declared in this package
+// that carry at least one sync.Mutex/sync.RWMutex field, keyed to the set
+// of mutex field names.
+func guardedStructs(pass *analysis.Pass) map[*types.Named]map[string]bool {
+	out := make(map[*types.Named]map[string]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var mutexes map[string]bool
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isMutexType(f.Type()) {
+				if mutexes == nil {
+					mutexes = make(map[string]bool)
+				}
+				mutexes[f.Name()] = true
+			}
+		}
+		if mutexes != nil {
+			out[named] = mutexes
+		}
+	}
+	return out
+}
+
+// collectMethodUses walks one method body, computing positional heldness
+// from Lock/Unlock calls on the receiver's mutex fields and recording
+// every access to the struct's plain data fields.
+func collectMethodUses(pass *analysis.Pass, fd *ast.FuncDecl, recv *types.Var,
+	named *types.Named, mutexes map[string]bool, uses map[fieldKey][]fieldUse) {
+
+	type lockEvent struct {
+		pos   token.Pos
+		delta int // +1 Lock/RLock, -1 Unlock/RUnlock
+	}
+	var events []lockEvent
+	type access struct {
+		pos   token.Pos
+		field string
+	}
+	var accesses []access
+
+	st := named.Underlying().(*types.Struct)
+	fieldType := make(map[string]types.Type, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fieldType[st.Field(i).Name()] = st.Field(i).Type()
+	}
+
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return: it never ends the held
+			// span, so skip the call but still walk its arguments.
+			if isMutexOp(pass, n.Call, recv, mutexes) != 0 {
+				return false
+			}
+		case *ast.CallExpr:
+			if d := isMutexOp(pass, n, recv, mutexes); d != 0 {
+				events = append(events, lockEvent{n.Pos(), d})
+				return false
+			}
+		case *ast.SelectorExpr:
+			x, ok := n.X.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[x] != recv {
+				return true
+			}
+			name := n.Sel.Name
+			ft, ok := fieldType[name]
+			if !ok || mutexes[name] || isSelfSynchronized(ft, 0) {
+				return true
+			}
+			accesses = append(accesses, access{n.Sel.Pos(), name})
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, inspect)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := func(pos token.Pos) bool {
+		depth := 0
+		for _, ev := range events {
+			if ev.pos > pos {
+				break
+			}
+			depth += ev.delta
+			if depth < 0 {
+				depth = 0
+			}
+		}
+		return depth > 0
+	}
+	for _, a := range accesses {
+		k := fieldKey{named, a.field}
+		uses[k] = append(uses[k], fieldUse{a.pos, held(a.pos)})
+	}
+}
+
+// report emits one diagnostic per unguarded access of every field that has
+// mixed guarded/unguarded accesses across the package.
+func report(pass *analysis.Pass, uses map[fieldKey][]fieldUse) {
+	keys := make([]fieldKey, 0, len(uses))
+	for k := range uses {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].typ != keys[j].typ {
+			return keys[i].typ.Obj().Name() < keys[j].typ.Obj().Name()
+		}
+		return keys[i].field < keys[j].field
+	})
+	for _, k := range keys {
+		var anyHeld, anyBare bool
+		for _, u := range uses[k] {
+			if u.held {
+				anyHeld = true
+			} else {
+				anyBare = true
+			}
+		}
+		if !anyHeld || !anyBare {
+			continue
+		}
+		us := uses[k]
+		sort.Slice(us, func(i, j int) bool { return us[i].pos < us[j].pos })
+		for _, u := range us {
+			if u.held {
+				continue
+			}
+			pass.Reportf(u.pos,
+				"field %s of %s is accessed elsewhere under the struct's mutex but not here; hold the lock or annotate why this access is safe",
+				k.field, k.typ.Obj().Name())
+		}
+	}
+}
+
+// isMutexOp classifies recv.<mutexfield>.Lock/RLock (+1) and
+// Unlock/RUnlock (-1) calls; anything else returns 0.
+func isMutexOp(pass *analysis.Pass, call *ast.CallExpr, recv *types.Var, mutexes map[string]bool) int {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	var delta int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return 0
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	x, ok := inner.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[x] != recv || !mutexes[inner.Sel.Name] {
+		return 0
+	}
+	return delta
+}
+
+// receiverVar returns the receiver's types.Var, or nil for unnamed
+// receivers.
+func receiverVar(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// namedRecvType unwraps a receiver type (possibly a pointer) to its named
+// type.
+func namedRecvType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isSelfSynchronized reports whether values of type t coordinate their own
+// concurrent access, making the holder's mutex irrelevant: sync and
+// sync/atomic types, channels, and (transitively) structs built only from
+// such types or carrying their own mutex.
+func isSelfSynchronized(t types.Type, depth int) bool {
+	if depth > 6 {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+		return isSelfSynchronized(t.Underlying(), depth+1)
+	case *types.Pointer:
+		return isSelfSynchronized(t.Elem(), depth+1)
+	case *types.Array:
+		return isSelfSynchronized(t.Elem(), depth+1)
+	case *types.Chan:
+		return true
+	case *types.Struct:
+		if t.NumFields() == 0 {
+			return true
+		}
+		all := true
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if isMutexType(f.Type()) {
+				return true // guards itself
+			}
+			if !isSelfSynchronized(f.Type(), depth+1) {
+				all = false
+			}
+		}
+		return all
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fastjoin/internal/lint/analysis"
+)
+
+// PanicPath flags panic calls in library packages. A panic that escapes a
+// bolt goroutine takes the whole join instance with it — the engine
+// isolates and counts these, but every counted panic is load the paper's
+// protocol silently stops serving. Library paths should return errors;
+// panics are reserved for genuine programming-contract violations.
+//
+// Two conventional escapes need no annotation:
+//
+//   - package main (cmd binaries own their process lifetime), and
+//   - functions named Must* (the Go-wide "panic on error" convention,
+//     e.g. MustBuild).
+//
+// Everything else must either become a returned error or carry an explicit
+// //lint:allow panicpath <reason> stating the invariant it guards.
+var PanicPath = &analysis.Analyzer{
+	Name: "panicpath",
+	Doc: "flags panic(...) reachable in non-main, non-test packages; return an " +
+		"error, use a Must* wrapper, or allowlist a true invariant",
+	Run: runPanicPath,
+}
+
+func runPanicPath(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in library path: return an error the caller can handle, or annotate the invariant with //lint:allow panicpath <reason>")
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

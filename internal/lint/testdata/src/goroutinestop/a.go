@@ -1,0 +1,107 @@
+package goroutinestop
+
+import "context"
+
+func work() {}
+
+// flagged: literal goroutine spinning forever with no stop signal.
+func badLit() {
+	go func() { // want "unbounded loop"
+		for {
+			work()
+		}
+	}()
+}
+
+// flagged: worker loop that only waits for jobs leaks past shutdown.
+func badJobsOnly(jobs chan int) {
+	go func() { // want "unbounded loop"
+		for {
+			j := <-jobs
+			_ = j
+		}
+	}()
+}
+
+// clean: select includes a done case.
+func goodSelect(done chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// clean: context cancellation.
+func goodContext(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// clean: ranging over a channel ends when the channel closes.
+func goodRange(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// clean: bounded loop.
+func goodBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// flagged: named same-package function with an unbounded loop.
+func badNamed() {
+	go spin() // want "unbounded loop"
+}
+
+type server struct {
+	stop chan struct{}
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// clean: method launch whose body selects on a stop channel.
+func goodMethod(s *server) {
+	go s.loop()
+}
+
+// suppressed: the escape hatch.
+func allowedSpin() {
+	//lint:allow goroutinestop daemon intentionally runs for the process lifetime
+	go spin()
+}

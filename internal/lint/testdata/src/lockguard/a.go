@@ -1,0 +1,92 @@
+package lockguard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter mixes guarded and unguarded access to n.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+func (c *counter) Peek() int {
+	return c.n // want "field n of counter"
+}
+
+// table shows the same mix under an RWMutex.
+type table struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+func (t *table) Get(k int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) Put(k, v int) {
+	t.m[k] = v // want "field m of table"
+}
+
+// clean: every access holds the lock.
+type safe struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (s *safe) Set(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v = v
+}
+
+func (s *safe) Read() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v
+}
+
+// stats: atomics and channels synchronize themselves and are exempt even
+// when other fields of the struct are mutex-guarded.
+type stats struct {
+	mu    sync.Mutex
+	seen  map[string]bool
+	count atomic.Int64
+	wake  chan struct{}
+}
+
+func (s *stats) Mark(k string) {
+	s.mu.Lock()
+	s.seen[k] = true
+	s.mu.Unlock()
+	s.count.Add(1)
+}
+
+func (s *stats) Count() int64 {
+	return s.count.Load()
+}
+
+func (s *stats) Wake() {
+	s.wake <- struct{}{}
+}
+
+// suppressed: the escape hatch.
+func (c *counter) reset() {
+	//lint:allow lockguard only called before the goroutines start
+	c.n = 0
+}

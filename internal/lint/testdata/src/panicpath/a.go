@@ -1,0 +1,35 @@
+package panicpath
+
+import "errors"
+
+// flagged: library-path panic.
+func bad(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in library path"
+	}
+	return n
+}
+
+// clean: the error is returned instead.
+func good(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+// clean: Must* convention — panic-on-error wrappers are self-describing.
+func MustGood(n int) int {
+	v, err := good(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// suppressed: annotated invariant.
+func invariant(side int) {
+	if side != 0 && side != 1 {
+		panic("side must be 0 or 1") //lint:allow panicpath binary-side invariant asserted by tests
+	}
+}

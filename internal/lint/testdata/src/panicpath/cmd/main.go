@@ -1,0 +1,9 @@
+// Package main is exempt from panicpath: a binary owns its process
+// lifetime and may panic on startup errors.
+package main
+
+func main() {
+	if len([]string{}) > 0 {
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,38 @@
+package unboundedchan
+
+// flagged: rendezvous data channel.
+func bad() {
+	ch := make(chan int)      // want "unbuffered make"
+	msgs := make(chan string) // want "unbuffered make"
+	_, _ = ch, msgs
+}
+
+// clean: bounded queues, signal channels, non-channel makes.
+func good() {
+	q := make(chan int, 128)
+	done := make(chan struct{}) // close-only signal: exempt
+	s := make([]int, 4)
+	m := make(map[string]int)
+	_, _, _, _ = q, done, s, m
+}
+
+type payload struct{ v int }
+
+// flagged: a named empty-ish struct with fields still carries data.
+func carriesData() {
+	ch := make(chan payload) // want "unbuffered make"
+	_ = ch
+}
+
+// suppressed: the escape hatch on the preceding line.
+func allowed() {
+	//lint:allow unboundedchan intentional rendezvous handoff in tests
+	ch := make(chan int)
+	_ = ch
+}
+
+// suppressed: the escape hatch on the same line.
+func allowedInline() {
+	ch := make(chan int) //lint:allow unboundedchan handshake channel
+	_ = ch
+}

@@ -1,0 +1,69 @@
+// Package lint hosts the fastjoin-specific static analyzers run by
+// cmd/fastjoin-lint. Each analyzer encodes one concurrency invariant the
+// paper's protocol depends on; see LINTING.md for the catalogue and the
+// //lint:allow escape hatch.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fastjoin/internal/lint/analysis"
+)
+
+// All returns the full fastjoin-lint suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		UnboundedChan,
+		LockGuard,
+		GoroutineStop,
+		PanicPath,
+	}
+}
+
+// UnboundedChan flags `make(chan T)` without a capacity. The engine's load
+// model (L_i = |R_i|·φ_si, with φ a queue length) and its back-pressure
+// behaviour only hold if every data-carrying queue is bounded; a
+// rendezvous channel on a hot path turns back-pressure into head-of-line
+// blocking. Pure signal channels — element type struct{}, used only for
+// close/broadcast — carry no data and are exempt.
+var UnboundedChan = &analysis.Analyzer{
+	Name: "unboundedchan",
+	Doc: "flags make(chan T) with no capacity; every data queue must be bounded " +
+		"for the φ back-pressure model (chan struct{} signal channels are exempt)",
+	Run: runUnboundedChan,
+}
+
+func runUnboundedChan(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" || len(call.Args) != 1 {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call]
+			if !ok {
+				return true
+			}
+			ch, ok := tv.Type.Underlying().(*types.Chan)
+			if !ok {
+				return true
+			}
+			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true // close-only signal channel
+			}
+			pass.Reportf(call.Pos(),
+				"unbuffered make(chan %s): bound every data queue so back-pressure stays measurable, or use chan struct{} for pure signals",
+				ch.Elem())
+			return true
+		})
+	}
+	return nil, nil
+}

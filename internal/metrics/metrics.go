@@ -27,7 +27,7 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Add adds delta (which must be non-negative) to the counter.
 func (c *Counter) Add(delta int64) {
 	if delta < 0 {
-		panic("metrics: Counter.Add with negative delta")
+		panic("metrics: Counter.Add with negative delta") //lint:allow panicpath monotonic-counter contract; asserted by tests
 	}
 	c.v.Add(delta)
 }
@@ -100,7 +100,7 @@ type EWMA struct {
 // NewEWMA returns an EWMA with the given smoothing factor.
 func NewEWMA(alpha float64) *EWMA {
 	if alpha <= 0 || alpha > 1 {
-		panic("metrics: EWMA alpha must be in (0, 1]")
+		panic("metrics: EWMA alpha must be in (0, 1]") //lint:allow panicpath constructor contract (alpha range); asserted by tests
 	}
 	return &EWMA{alpha: alpha}
 }

@@ -87,7 +87,7 @@ func (ts *TimeSeries) Max() float64 {
 // recording "the stable statistics after the application runs for a while".
 func (ts *TimeSeries) TailMean(frac float64) float64 {
 	if frac <= 0 || frac > 1 {
-		panic("metrics: TailMean frac must be in (0, 1]")
+		panic("metrics: TailMean frac must be in (0, 1]") //lint:allow panicpath frac-range contract; asserted by tests
 	}
 	vals := ts.Values()
 	if len(vals) == 0 {

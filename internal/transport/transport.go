@@ -56,7 +56,6 @@ type localConn struct {
 	send chan<- Message
 	recv <-chan Message
 
-	mu     sync.Mutex
 	closed chan struct{}
 	once   sync.Once
 	peer   *localConn

@@ -42,10 +42,10 @@ func New() *Store {
 // subCount sub-windows. span must be positive and subCount >= 1.
 func NewWindowed(span int64, subCount int) *Store {
 	if span <= 0 {
-		panic("window: span must be positive")
+		panic("window: span must be positive") //lint:allow panicpath constructor contract; biclique.Config.Validate supplies valid spans
 	}
 	if subCount < 1 {
-		panic("window: subCount must be >= 1")
+		panic("window: subCount must be >= 1") //lint:allow panicpath constructor contract; biclique.Config.Validate supplies valid sub-window counts
 	}
 	return &Store{
 		span:     span,

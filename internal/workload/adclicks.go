@@ -58,10 +58,10 @@ type AdClicks struct {
 // NewAdClicks builds the Photon-style workload.
 func NewAdClicks(cfg AdClicksConfig) *AdClicks {
 	if cfg.Ads <= 0 {
-		panic("workload: AdClicks requires Ads > 0")
+		panic("workload: AdClicks requires Ads > 0") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	if cfg.QueriesPerClick < 1 {
-		panic("workload: QueriesPerClick must be >= 1")
+		panic("workload: QueriesPerClick must be >= 1") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	permSeed := cfg.Seed ^ 0x3c6ef372
 	queries := NewZipfPerm(cfg.Ads, cfg.QueryTheta, cfg.Seed+10, permSeed)

@@ -27,10 +27,10 @@ type DriftingZipf struct {
 // theta; the hot set shifts by step keys every period samples.
 func NewDriftingZipf(n int, theta float64, period int64, step int, sampleSeed, permSeed int64) *DriftingZipf {
 	if period <= 0 {
-		panic("workload: DriftingZipf period must be positive")
+		panic("workload: DriftingZipf period must be positive") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	if step <= 0 {
-		panic("workload: DriftingZipf step must be positive")
+		panic("workload: DriftingZipf step must be positive") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	return &DriftingZipf{
 		z:      NewZipfPerm(n, theta, sampleSeed, permSeed),

@@ -21,7 +21,7 @@ type Replayer struct {
 // tuplesPerSec <= 0 disables pacing.
 func NewReplayer(next func() stream.Tuple, tuplesPerSec float64) *Replayer {
 	if next == nil {
-		panic("workload: NewReplayer requires a generator")
+		panic("workload: NewReplayer requires a generator") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	return &Replayer{next: next, rate: tuplesPerSec, tick: 5 * time.Millisecond}
 }
@@ -29,7 +29,7 @@ func NewReplayer(next func() stream.Tuple, tuplesPerSec float64) *Replayer {
 // NewPairReplayer builds a Replayer over the interleaved merge of a Pair.
 func NewPairReplayer(p Pair, tuplesPerSec float64) *Replayer {
 	if p.SPerR < 1 {
-		panic("workload: Pair.SPerR must be >= 1")
+		panic("workload: Pair.SPerR must be >= 1") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	i := 0
 	next := func() stream.Tuple {

@@ -82,13 +82,13 @@ type RideHailing struct {
 // NewRideHailing builds the synthetic DiDi-style workload.
 func NewRideHailing(cfg RideHailingConfig) *RideHailing {
 	if cfg.GridWidth <= 0 || cfg.GridHeight <= 0 {
-		panic("workload: ride-hailing grid dimensions must be positive")
+		panic("workload: ride-hailing grid dimensions must be positive") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	if cfg.TracksPerOrder < 1 {
-		panic("workload: TracksPerOrder must be >= 1")
+		panic("workload: TracksPerOrder must be >= 1") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	if cfg.Fleet < 1 {
-		panic("workload: Fleet must be >= 1")
+		panic("workload: Fleet must be >= 1") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	cells := cfg.GridWidth * cfg.GridHeight
 	orderTheta := cfg.OrderTheta

@@ -16,7 +16,7 @@ type Uniform struct {
 // NewUniform returns a uniform sampler over n keys.
 func NewUniform(n int, seed int64) *Uniform {
 	if n <= 0 {
-		panic("workload: Uniform requires n > 0")
+		panic("workload: Uniform requires n > 0") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}
 }
@@ -47,10 +47,10 @@ type Source struct {
 // NewSource returns a tuple source for the given side.
 func NewSource(side stream.Side, sampler Sampler, payload PayloadFunc) *Source {
 	if !side.Valid() {
-		panic("workload: invalid side")
+		panic("workload: invalid side") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	if sampler == nil {
-		panic("workload: nil sampler")
+		panic("workload: nil sampler") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	return &Source{side: side, sampler: sampler, payload: payload, stride: 1, clock: stream.Now}
 }
@@ -61,7 +61,7 @@ func NewSource(side stream.Side, sampler Sampler, payload PayloadFunc) *Source {
 // It returns the source for chaining.
 func (s *Source) WithSeqStride(offset, stride uint64) *Source {
 	if stride == 0 {
-		panic("workload: stride must be positive")
+		panic("workload: stride must be positive") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	s.seq = offset
 	s.stride = stride
@@ -121,7 +121,7 @@ type Pair struct {
 // two sources at the configured ratio (one R tuple, then SPerR S tuples).
 func (p Pair) Interleave(n int) []stream.Tuple {
 	if p.SPerR < 1 {
-		panic("workload: Pair.SPerR must be >= 1")
+		panic("workload: Pair.SPerR must be >= 1") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	out := make([]stream.Tuple, 0, n)
 	for len(out) < n {

@@ -62,7 +62,7 @@ func (d *Distribution) sortedCounts() []int64 {
 // fraction p of distinct keys (0 < p <= 1).
 func (d *Distribution) TopShare(p float64) float64 {
 	if p <= 0 || p > 1 {
-		panic("workload: TopShare p must be in (0, 1]")
+		panic("workload: TopShare p must be in (0, 1]") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	if d.total == 0 {
 		return 0
@@ -84,7 +84,7 @@ func (d *Distribution) TopShare(p float64) float64 {
 // hold 80% of passenger orders: KeysForMass(0.8) ≈ 0.20.
 func (d *Distribution) KeysForMass(m float64) float64 {
 	if m <= 0 || m > 1 {
-		panic("workload: KeysForMass m must be in (0, 1]")
+		panic("workload: KeysForMass m must be in (0, 1]") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	if d.total == 0 {
 		return 0
@@ -111,7 +111,7 @@ type CDFPoint struct {
 // CDF returns n evenly spaced points of the frequency CDF, hottest first.
 func (d *Distribution) CDF(n int) []CDFPoint {
 	if n < 2 {
-		panic("workload: CDF requires n >= 2")
+		panic("workload: CDF requires n >= 2") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	counts := d.sortedCounts()
 	if len(counts) == 0 || d.total == 0 {

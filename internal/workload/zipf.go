@@ -68,10 +68,10 @@ func NewZipfPerm(n int, theta float64, sampleSeed, permSeed int64) *Zipf {
 
 func newZipf(n int, theta float64, seed int64, perm []stream.Key) *Zipf {
 	if n <= 0 {
-		panic("workload: Zipf requires n > 0")
+		panic("workload: Zipf requires n > 0") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	if theta < 0 {
-		panic("workload: Zipf requires theta >= 0")
+		panic("workload: Zipf requires theta >= 0") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	cum := make([]float64, n)
 	var total float64
@@ -120,7 +120,7 @@ func (z *Zipf) Prob(rank int) float64 {
 // hottest fraction p of ranks (0 < p <= 1).
 func (z *Zipf) TopShare(p float64) float64 {
 	if p <= 0 || p > 1 {
-		panic("workload: TopShare p must be in (0, 1]")
+		panic("workload: TopShare p must be in (0, 1]") //lint:allow panicpath generator constructor contract; asserted by tests
 	}
 	k := int(math.Ceil(p * float64(len(z.cum))))
 	if k < 1 {

@@ -56,7 +56,7 @@ func String(s string) uint64 {
 // consecutive keys spread across partitions rather than striping.
 func Partition(key uint64, n int) int {
 	if n <= 0 {
-		panic("xhash: Partition requires n > 0")
+		panic("xhash: Partition requires n > 0") //lint:allow panicpath partition-count contract; asserted by tests
 	}
 	return int(Uint64(key) % uint64(n))
 }
@@ -64,7 +64,7 @@ func Partition(key uint64, n int) int {
 // SeededPartition maps a key to one of n partitions under a placement seed.
 func SeededPartition(key, seed uint64, n int) int {
 	if n <= 0 {
-		panic("xhash: SeededPartition requires n > 0")
+		panic("xhash: SeededPartition requires n > 0") //lint:allow panicpath partition-count contract; asserted by tests
 	}
 	return int(Seeded(key, seed) % uint64(n))
 }
