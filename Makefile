@@ -4,7 +4,12 @@ PKGS    ?= ./...
 # so it can run on every local iteration.
 RACE_FAST_PKGS = ./internal/engine ./internal/biclique ./internal/transport
 
-.PHONY: build test lint vet race race-fast bench ci
+# Chaos sweep size: seeds per profile in `make chaos`. 50 seeds across the
+# four fault profiles plus the differential matrix gives 200+ seeded runs.
+CHAOS_RUNS ?= 50
+FUZZTIME   ?= 20s
+
+.PHONY: build test lint vet race race-fast bench chaos fuzz-short cover ci
 
 build:
 	$(GO) build $(PKGS)
@@ -31,6 +36,27 @@ race-fast:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(PKGS)
+
+## chaos: the seeded fault-injection sweep under the race detector. Every
+## run must produce the exact brute-force join result or a cleanly
+## reported abort; replay a failure with
+##   go test -race ./internal/biclique -run TestChaosReplay \
+##     -args -chaos.profile=<p> -chaos.seed=<n>
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos
+	$(GO) test -race -count=1 -timeout=30m ./internal/biclique \
+		-run 'Chaos' -args -chaos.runs=$(CHAOS_RUNS)
+
+## fuzz-short: bounded fuzzing of the wire-frame decoder and the routing
+## update path (corpora are checked in under testdata/fuzz).
+fuzz-short:
+	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/routing -run='^$$' -fuzz=FuzzRoutingUpdate -fuzztime=$(FUZZTIME)
+
+## cover: per-package coverage plus the biclique+core+chaos floor gate
+## (scripts/coverage_gate.sh, baseline in ci/coverage_baseline.txt).
+cover:
+	./scripts/coverage_gate.sh
 
 ## ci: everything the CI workflow gates on. `lint` includes go vet.
 ci: build lint test race

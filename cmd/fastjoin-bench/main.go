@@ -34,6 +34,9 @@ func main() {
 		theta    = flag.Float64("theta", 0, "load imbalance threshold Θ (default 2.2)")
 		seed     = flag.Int64("seed", 0, "workload/placement seed (default 7)")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+
+		chaosProfile = flag.String("chaos", "", "fault drill: chaos profile (none, droponly, delayonly, duponly, mixed, abortstorm)")
+		chaosSeed    = flag.Int64("chaos.seed", 1, "chaos injector seed (a drill replays exactly per seed)")
 	)
 	flag.Parse()
 
@@ -56,6 +59,12 @@ func main() {
 		Theta:       *theta,
 		Seed:        *seed,
 		Quick:       *quick,
+
+		ChaosProfile: *chaosProfile,
+		ChaosSeed:    *chaosSeed,
+	}
+	if p.ChaosProfile != "" && p.ChaosProfile != "none" {
+		fmt.Printf("fault drill: chaos profile %q seed %d\n", p.ChaosProfile, p.ChaosSeed)
 	}
 
 	var experiments []*bench.Experiment

@@ -37,8 +37,16 @@ func main() {
 		theta     = flag.Float64("theta", 2.2, "load imbalance threshold Θ")
 		window    = flag.Float64("window", 2, "join window, virtual seconds (0 = full history)")
 		seed      = flag.Int64("seed", 7, "workload/placement seed")
+
+		chaosName = flag.String("chaos", "", "fault drill preset (none, droponly, delayonly, duponly, mixed, abortstorm)")
 	)
 	flag.Parse()
+
+	chaosCfg, err := sim.ChaosPreset(*chaosName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	base := func() sim.Config {
 		return sim.Config{
@@ -53,6 +61,7 @@ func main() {
 			SPerR:       4,
 			SampleEvery: 1,
 			Seed:        uint64(*seed),
+			Chaos:       chaosCfg,
 		}
 	}
 	samplers := func(tR, tS float64) (workload.Sampler, workload.Sampler) {
@@ -67,9 +76,13 @@ func main() {
 		fmt.Fprintln(w, join(cols))
 	}
 	row := func(label string, r *sim.Result) {
-		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.1f\t%.2f\t%d\n",
+		migs := fmt.Sprint(r.Migrations)
+		if r.MigrationAborts > 0 {
+			migs += fmt.Sprintf("(+%da)", r.MigrationAborts)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.1f\t%.2f\t%s\n",
 			label, r.MeanThroughput, r.MeanLatencySec*1e3, r.P99LatencySec*1e3,
-			r.SteadyLI, r.Migrations)
+			r.SteadyLI, migs)
 	}
 
 	runOne := func(cfg sim.Config, tR, tS float64) *sim.Result {
@@ -82,8 +95,13 @@ func main() {
 		return res
 	}
 
-	fmt.Printf("simulated cluster: %d instances/side x %.0f ops/s, offered %.0f tuples/s, %gs virtual\n\n",
+	fmt.Printf("simulated cluster: %d instances/side x %.0f ops/s, offered %.0f tuples/s, %gs virtual\n",
 		*instances, *service, *rate, *duration)
+	if *chaosName != "" && *chaosName != "none" {
+		fmt.Printf("fault drill: chaos preset %q (migration fail p=%.2f, stall p=%.2f/%.0fms)\n",
+			*chaosName, chaosCfg.MigFailProb, chaosCfg.StallProb, chaosCfg.StallSec*1e3)
+	}
+	fmt.Println()
 
 	switch *sweep {
 	case "systems":

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"fastjoin/internal/biclique"
+	"fastjoin/internal/chaos"
 	"fastjoin/internal/core"
 	"fastjoin/internal/engine"
 	"fastjoin/internal/metrics"
@@ -159,12 +160,28 @@ type Options struct {
 	MatchCost float64
 	// Seed derandomizes placement.
 	Seed uint64
+	// AbortTimeout bounds a migration's marker handshake: if the forward
+	// markers have not all arrived after this long (measured in
+	// StatsInterval ticks), the migration aborts and rolls back to the
+	// pre-migration routing without losing or duplicating results.
+	// 0 disables aborts (a stuck handshake then relies on re-broadcast
+	// alone). Only meaningful for migration-enabled kinds.
+	AbortTimeout time.Duration
+	// ChaosProfile, when non-empty, names a chaos fault-injection profile
+	// (see chaos.Names: "none", "droponly", "delayonly", "duponly",
+	// "mixed", "abortstorm") applied to the engine's delivery edges.
+	// All fault decisions are drawn deterministically from ChaosSeed, so
+	// a run replays exactly. For testing and fault drills only.
+	ChaosProfile string
+	// ChaosSeed seeds the chaos injector's per-lane random streams.
+	ChaosSeed int64
 }
 
 // System is a running stream join system.
 type System struct {
-	kind Kind
-	sys  *biclique.System
+	kind  Kind
+	sys   *biclique.System
+	chaos *chaos.Injector
 }
 
 // New validates the options, builds the topology for the requested system
@@ -203,20 +220,22 @@ func New(opts Options) (*System, error) {
 	case KindFastJoin:
 		cfg.Strategy = biclique.StrategyHash
 		cfg.Migration = biclique.MigrationConfig{
-			Enabled:    true,
-			Policy:     policy,
-			Selector:   core.GreedyFit,
-			MinBenefit: opts.MinBenefit,
+			Enabled:      true,
+			Policy:       policy,
+			Selector:     core.GreedyFit,
+			MinBenefit:   opts.MinBenefit,
+			AbortTimeout: opts.AbortTimeout,
 		}
 	case KindFastJoinSAFit:
 		cfg.Strategy = biclique.StrategyHash
 		sa := core.DefaultSAConfig()
 		sa.Seed = int64(opts.Seed) + 1
 		cfg.Migration = biclique.MigrationConfig{
-			Enabled:    true,
-			Policy:     policy,
-			Selector:   core.SAFitSelector(sa),
-			MinBenefit: opts.MinBenefit,
+			Enabled:      true,
+			Policy:       policy,
+			Selector:     core.SAFitSelector(sa),
+			MinBenefit:   opts.MinBenefit,
+			AbortTimeout: opts.AbortTimeout,
 		}
 	case KindBiStream:
 		cfg.Strategy = biclique.StrategyHash
@@ -228,11 +247,21 @@ func New(opts Options) (*System, error) {
 		return nil, fmt.Errorf("fastjoin: unknown system kind %v", opts.Kind)
 	}
 
+	var inj *chaos.Injector
+	if opts.ChaosProfile != "" {
+		profile, err := chaos.Lookup(opts.ChaosProfile)
+		if err != nil {
+			return nil, fmt.Errorf("fastjoin: %w", err)
+		}
+		inj = chaos.NewInjector(profile, opts.ChaosSeed)
+		cfg.Chaos = inj
+	}
+
 	sys, err := biclique.Start(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &System{kind: opts.Kind, sys: sys}, nil
+	return &System{kind: opts.Kind, sys: sys, chaos: inj}, nil
 }
 
 // Kind returns which system this is.
@@ -276,6 +305,24 @@ func (s *System) MigrationLog() []MigrationEvent {
 	return s.sys.Metrics().MigrationLog()
 }
 
+// ChaosCounts snapshots how many faults a chaos profile has injected.
+type ChaosCounts = chaos.Counts
+
+// ChaosCounts returns the injected-fault totals when the system was
+// built with a ChaosProfile, and the zero value otherwise.
+func (s *System) ChaosCounts() ChaosCounts {
+	if s.chaos == nil {
+		return ChaosCounts{}
+	}
+	return s.chaos.Counts()
+}
+
+// MigrationsInFlight returns the number of migration handshakes (or
+// rollbacks) that have not yet finished. Fault drills poll it to decide
+// whether an apparently quiescent system still holds tuples parked in
+// migration buffers.
+func (s *System) MigrationsInFlight() int64 { return s.sys.MigrationsInFlight() }
+
 // Stats is a point-in-time summary of a system's activity.
 type Stats struct {
 	System         string  `json:"system"`
@@ -289,13 +336,20 @@ type Stats struct {
 	Migrations     int64   `json:"migrations"`
 	MigratedKeys   int64   `json:"migrated_keys"`
 	MigratedTuples int64   `json:"migrated_tuples"`
+	// MigrationAborts counts migrations that timed out their marker
+	// handshake and rolled back (non-zero only under faults).
+	MigrationAborts int64 `json:"migration_aborts,omitempty"`
 }
 
 // String renders a one-line summary.
 func (st Stats) String() string {
-	return fmt.Sprintf("%s: results=%d lat(mean)=%.0fµs lat(p99)=%.0fµs stored=%d/%d migrations=%d (keys=%d tuples=%d)",
+	s := fmt.Sprintf("%s: results=%d lat(mean)=%.0fµs lat(p99)=%.0fµs stored=%d/%d migrations=%d (keys=%d tuples=%d)",
 		st.System, st.Results, st.LatencyMeanUs, st.LatencyP99Us,
 		st.StoredR, st.StoredS, st.Migrations, st.MigratedKeys, st.MigratedTuples)
+	if st.MigrationAborts > 0 {
+		s += fmt.Sprintf(" aborts=%d", st.MigrationAborts)
+	}
+	return s
 }
 
 // Stats snapshots the system's counters.
@@ -303,16 +357,17 @@ func (s *System) Stats() Stats {
 	m := s.sys.Metrics()
 	lat := m.Latency.Snapshot()
 	return Stats{
-		System:         s.kind.String(),
-		Results:        m.Results.Count(),
-		LatencySamples: lat.Count,
-		LatencyMeanUs:  lat.Mean / 1e3,
-		LatencyP95Us:   float64(lat.P95) / 1e3,
-		LatencyP99Us:   float64(lat.P99) / 1e3,
-		StoredR:        m.StoredR.Value(),
-		StoredS:        m.StoredS.Value(),
-		Migrations:     m.Migrations.Value(),
-		MigratedKeys:   m.MigratedKeys.Value(),
-		MigratedTuples: m.MigratedTuples.Value(),
+		System:          s.kind.String(),
+		Results:         m.Results.Count(),
+		LatencySamples:  lat.Count,
+		LatencyMeanUs:   lat.Mean / 1e3,
+		LatencyP95Us:    float64(lat.P95) / 1e3,
+		LatencyP99Us:    float64(lat.P99) / 1e3,
+		StoredR:         m.StoredR.Value(),
+		StoredS:         m.StoredS.Value(),
+		Migrations:      m.Migrations.Value(),
+		MigratedKeys:    m.MigratedKeys.Value(),
+		MigratedTuples:  m.MigratedTuples.Value(),
+		MigrationAborts: m.MigrationAborts.Value(),
 	}
 }

@@ -367,3 +367,52 @@ func TestSideReExports(t *testing.T) {
 		t.Error("side re-exports wrong")
 	}
 }
+
+func TestChaosProfileOption(t *testing.T) {
+	if _, err := New(Options{ChaosProfile: "bogus", Sources: []TupleSource{finiteSource(1, 1)}}); err == nil {
+		t.Fatal("unknown chaos profile did not error")
+	}
+
+	// Under the mixed fault profile the join must still be exact.
+	const want = 40 * 25 * 25
+	sys, err := New(Options{
+		Kind:          KindFastJoin,
+		Joiners:       3,
+		Sources:       []TupleSource{finiteSource(2000, 40)},
+		StatsInterval: 20 * time.Millisecond,
+		Theta:         1.2,
+		Cooldown:      30 * time.Millisecond,
+		AbortTimeout:  150 * time.Millisecond,
+		ChaosProfile:  "mixed",
+		ChaosSeed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine can settle while tuples sit parked in migration buffers
+	// awaiting a tick-driven retransmit; re-wait until no migration is in
+	// flight at a settled instant.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if err := sys.WaitComplete(time.Until(deadline)); err != nil {
+			sys.Stop()
+			t.Fatalf("WaitComplete: %v", err)
+		}
+		if sys.MigrationsInFlight() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			sys.Stop()
+			t.Fatal("migrations never settled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sys.Stop()
+
+	if st := sys.Stats(); st.Results != want {
+		t.Errorf("results under chaos = %d, want %d", st.Results, want)
+	}
+	if c := sys.ChaosCounts(); c.Dropped+c.Duplicated+c.Delayed == 0 {
+		t.Errorf("mixed profile injected nothing: %+v", c)
+	}
+}

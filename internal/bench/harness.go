@@ -31,6 +31,11 @@ type Params struct {
 	Seed int64
 	// Quick shrinks sweeps and durations for smoke tests.
 	Quick bool
+	// ChaosProfile, when non-empty, runs every system under the named
+	// chaos fault profile (fault drill mode); ChaosSeed seeds the
+	// injector so a drill replays exactly.
+	ChaosProfile string
+	ChaosSeed    int64
 }
 
 // DefaultParams returns the laptop-scale defaults.
@@ -110,7 +115,21 @@ func sysOptions(kind fastjoin.Kind, p Params, joiners int, sources []fastjoin.Tu
 		StatsInterval: 50 * time.Millisecond,
 		ServiceRate:   p.ServiceRate,
 		Seed:          uint64(p.Seed),
+		ChaosProfile:  p.ChaosProfile,
+		ChaosSeed:     p.ChaosSeed,
+		AbortTimeout:  abortTimeoutFor(p),
 	}
+}
+
+// abortTimeoutFor enables migration abort-and-rollback whenever a bench
+// run injects faults: with markers being dropped, a handshake can stall
+// forever without it. Clean runs keep 0 (abort path disabled) so the
+// baseline numbers are untouched.
+func abortTimeoutFor(p Params) time.Duration {
+	if p.ChaosProfile == "" || p.ChaosProfile == "none" {
+		return 0
+	}
+	return 2 * time.Second
 }
 
 func max[T ~int64 | ~int](a, b T) T {

@@ -1,0 +1,70 @@
+package biclique
+
+import (
+	"time"
+
+	"fastjoin/internal/chaos"
+	"fastjoin/internal/engine"
+)
+
+// ChaosClassify maps biclique message types onto chaos fault classes.
+// The classification encodes the protocol's fault-eligibility matrix:
+//
+//   - TupleMsg (and anything unrecognized, e.g. raw tuples between the
+//     spout/shuffler/dispatcher) is data-lane traffic whose per-key FIFO
+//     the exactly-once argument relies on — profiles must keep it clean.
+//   - MigrateBatch/Flush/Abort/Return ride FIFO control lanes and carry
+//     stored tuples; losing one loses tuples, so profiles keep them
+//     clean too (duplicates would be tolerated via epoch dedup).
+//   - Markers, routing updates, commands, and reports are the recovery
+//     protocol's own traffic: dropping, delaying, duplicating, or
+//     reordering them must never lose results — that is what the chaos
+//     suite verifies.
+func ChaosClassify(value any) chaos.Class {
+	switch v := value.(type) {
+	case TupleMsg:
+		return chaos.ClassData
+	case Marker:
+		if v.Revert {
+			return chaos.ClassMarkerRevert
+		}
+		return chaos.ClassMarker
+	case RouteUpdate:
+		return chaos.ClassRouteUpdate
+	case MigrateCmd:
+		return chaos.ClassCommand
+	case LoadReport, MigrationDone:
+		return chaos.ClassReport
+	case MigrateBatch, MigrateFlush, MigrateAbort, MigrateReturn:
+		return chaos.ClassMigData
+	default:
+		return chaos.ClassOther
+	}
+}
+
+// chaosInject adapts a chaos.Injector to the engine's InjectFunc. The
+// lane is the receiving task plus stream, so each delivery edge draws
+// from its own deterministic random sequence regardless of goroutine
+// interleaving elsewhere.
+func chaosInject(in *chaos.Injector) engine.InjectFunc {
+	return func(target engine.Context, stream string, _ bool, value any) engine.FaultDecision {
+		d := in.Decide(target.String()+"/"+stream, ChaosClassify(value))
+		switch d.Op {
+		case chaos.OpDrop:
+			return engine.FaultDecision{Op: engine.FaultDrop}
+		case chaos.OpDup:
+			return engine.FaultDecision{Op: engine.FaultDup}
+		case chaos.OpDelay:
+			return engine.FaultDecision{Op: engine.FaultDelay, Delay: d.Delay}
+		default:
+			return engine.FaultDecision{}
+		}
+	}
+}
+
+// chaosStall adapts a chaos.Injector to the engine's StallFunc.
+func chaosStall(in *chaos.Injector) engine.StallFunc {
+	return func(target engine.Context, _ string, _ any) time.Duration {
+		return in.StallFor(target.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"fastjoin/internal/chaos"
 	"fastjoin/internal/core"
 	"fastjoin/internal/engine"
 	"fastjoin/internal/stream"
@@ -62,6 +63,14 @@ type MigrationConfig struct {
 	// StuckTimeout re-arms a monitor whose triggered migration never
 	// reported completion (e.g. the source instance panicked).
 	StuckTimeout time.Duration
+	// AbortTimeout bounds how long a migration source waits for the
+	// dispatcher marker handshake before aborting the attempt and rolling
+	// it back (routing restored, batch returned, buffered tuples replayed
+	// in original order). It is measured in stats ticks — rounded to
+	// AbortTimeout/StatsInterval, minimum one tick — so the decision
+	// depends only on delivered messages, never on wall-clock reads.
+	// Zero disables aborts: the source retries the handshake forever.
+	AbortTimeout time.Duration
 }
 
 // Config parameterizes a biclique join system.
@@ -108,6 +117,11 @@ type Config struct {
 	Sources []TupleSource
 	// Engine tunes queue capacities.
 	Engine engine.Config
+	// Chaos, when set, injects deterministic faults (drops, duplicates,
+	// delays, stalls) into the control-plane traffic per the injector's
+	// profile. Wired into Engine.Inject/Engine.Stall at Start unless those
+	// are already set explicitly.
+	Chaos *chaos.Injector
 	// Seed derandomizes hash placement and the random strategies.
 	Seed uint64
 

@@ -42,12 +42,36 @@ func (b *shufflerBolt) Cleanup() {}
 // dispatcherBolt routes every tuple twice: a store copy to the owner
 // instance in the tuple's own side group and probe copies to the opposite
 // group per the strategy. It maintains the routing table that FastJoin's
-// migrations rewrite, acking every update back to the migration source.
+// migrations rewrite, acking every update back with a marker.
 type dispatcherBolt struct {
 	cfg    *Config
 	router routing.Router
 	ctx    engine.Context
 	buf    []int // reusable probe-target buffer
+	// seq numbers every routed tuple; see TupleMsg.Seq.
+	seq uint64
+	// applied orders routing updates per migration source so a delayed
+	// stale update (e.g. a forward update overtaken by its own revert)
+	// cannot rewind the table. Re-deliveries of the newest update are
+	// re-applied (idempotent) and re-acked, which is what recovers
+	// dropped markers.
+	applied map[updateKey]uint64
+}
+
+// updateKey identifies the update stream of one migration source.
+type updateKey struct {
+	side   stream.Side
+	source int
+}
+
+// updateOrd totally orders one source's updates: the revert of an epoch
+// supersedes its forward update, and the next epoch supersedes both.
+func updateOrd(u RouteUpdate) uint64 {
+	ord := u.Epoch * 2
+	if u.Revert {
+		ord++
+	}
+	return ord
 }
 
 func newDispatcherBolt(cfg *Config) engine.BoltFactory {
@@ -63,31 +87,53 @@ func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 	case stream.Tuple:
 		b.routeTuple(v, out)
 	case RouteUpdate:
+		if b.applied == nil {
+			b.applied = make(map[updateKey]uint64)
+		}
+		k := updateKey{side: v.Side, source: v.Source}
+		ord := updateOrd(v)
+		if ord < b.applied[k] {
+			return // stale: a newer update from this source already applied
+		}
+		b.applied[k] = ord
 		b.router.ApplyUpdate(v.Side, v.Keys, v.NewOwner)
-		// The marker rides the data lane to the migration source, behind
-		// every tuple this task routed there before the update — the
-		// source uses it as proof that no stragglers remain.
-		out.EmitDirect(tupleStream(v.Side), v.Source, Marker{
+		// The marker rides the data lane to the instance waiting on the
+		// handshake (source for forward updates, target for reverts),
+		// behind every tuple this task routed there before the update —
+		// proof that no stragglers remain.
+		m := Marker{
 			Side:           v.Side,
 			DispatcherTask: b.ctx.Task,
-		})
+			Origin:         v.Source,
+			Epoch:          v.Epoch,
+			Revert:         v.Revert,
+		}
+		out.EmitDirect(tupleStream(v.Side), v.MarkerTo, m)
+		if v.Revert && v.Source != v.MarkerTo {
+			// A revert needs a second fence: the source replays the merged
+			// buffers only after ITS lanes are clean too, since the forward
+			// markers that would have fenced them are the very messages
+			// whose loss triggered the abort.
+			out.EmitDirect(tupleStream(v.Side), v.Source, m)
+		}
 	}
 }
 
 // routeTuple sends the store copy and the probe copies.
 func (b *dispatcherBolt) routeTuple(t stream.Tuple, out *engine.Collector) {
 	now := stream.Now()
+	b.seq++
 	ownSide, oppSide := t.Side, t.Side.Opposite()
 
 	// Store in the tuple's own group.
 	storeAt := b.router.StoreTarget(ownSide, t.Key)
-	out.EmitDirect(tupleStream(ownSide), storeAt, TupleMsg{T: t, Op: OpStore, SentAt: now})
+	out.EmitDirect(tupleStream(ownSide), storeAt, TupleMsg{T: t, Op: OpStore, SentAt: now, Seq: b.seq})
 
 	// Probe the opposite group: the tuple joins against the other stream's
 	// stored tuples, then is discarded there.
 	b.buf = b.router.ProbeTargets(oppSide, t.Key, b.buf[:0])
 	for _, target := range b.buf {
-		out.EmitDirect(tupleStream(oppSide), target, TupleMsg{T: t, Op: OpProbe, SentAt: now})
+		out.EmitDirect(tupleStream(oppSide), target, TupleMsg{T: t, Op: OpProbe, SentAt: now, Seq: b.seq})
 	}
 }
 

@@ -1,6 +1,7 @@
 package biclique
 
 import (
+	"sort"
 	"time"
 
 	"fastjoin/internal/core"
@@ -42,24 +43,54 @@ type joinerBolt struct {
 	probeCur       map[stream.Key]int64
 	probePrev      map[stream.Key]int64
 
-	// Migration source state.
-	migrating     bool
-	migKeys       map[stream.Key]bool
-	migTarget     int
-	migMoved      int
-	migLI         float64
-	markersNeeded int
-	tempQueue     []TupleMsg
+	// Migration source state. Epochs number this instance's attempts;
+	// markerSet collects the distinct dispatcher tasks that acked the
+	// current update (faults can drop or duplicate markers, so a plain
+	// countdown would miscount). The current update is re-broadcast every
+	// stats tick until the handshake completes, and — when AbortTimeout
+	// is configured — a handshake stuck past it flips the attempt into
+	// the abort/rollback protocol.
+	migrating  bool
+	aborting   bool
+	migEpoch   uint64
+	migKeys    map[stream.Key]bool
+	migTarget  int
+	migMoved   int
+	migLI      float64
+	migUpdate  RouteUpdate
+	markerSet  map[int]bool
+	migTicks   int
+	abortTicks int
+	tempQueue  []TupleMsg
+	// pendingReturn holds the target's rollback payload until this
+	// instance's own revert-marker set completes: only then are its lanes
+	// provably free of pre-update stragglers and the replay safe.
+	pendingReturn *MigrateReturn
 
-	// Migration target state: keys whose batch arrived but whose flush is
-	// still pending, plus the buffered directly-routed tuples.
-	inboundKeys map[stream.Key]bool
-	inboundBuf  []TupleMsg
+	// Migration target state, per source instance: keys whose batch
+	// arrived but whose flush (or abort return) is still pending, plus
+	// the buffered directly-routed tuples. finished remembers each
+	// source's highest completed epoch so duplicated batches, flushes,
+	// and aborts are answered idempotently; lastReturn re-sends the
+	// rollback payload when a duplicate abort arrives after the fact.
+	inbound    map[int]*inboundMig
+	finished   map[int]uint64
+	lastReturn map[int]MigrateReturn
 
 	// Capacity emulation (Config.ServiceRate): virtual ops consumed and
 	// the wall-clock origin they are measured against.
 	ops      float64
 	opsSince time.Time
+}
+
+// inboundMig tracks one in-flight inbound migration at its target.
+type inboundMig struct {
+	origin   int
+	epoch    uint64
+	keys     map[stream.Key]bool
+	buf      []TupleMsg
+	aborting bool
+	markers  map[int]bool // distinct dispatcher tasks whose revert marker arrived
 }
 
 func newJoinerFactory(cfg *Config, side stream.Side, met *SystemMetrics) engine.BoltFactory {
@@ -78,6 +109,14 @@ func (b *joinerBolt) Prepare(ctx engine.Context, _ *engine.Collector) {
 	b.probeCur = make(map[stream.Key]int64)
 	b.probePrev = make(map[stream.Key]int64)
 	b.opsSince = time.Now()
+	if t := b.cfg.Migration.AbortTimeout; t > 0 {
+		// The timeout is measured in stats ticks so the decision is made
+		// from delivered messages, not wall-clock reads.
+		b.abortTicks = int(t / b.cfg.StatsInterval)
+		if b.abortTicks < 1 {
+			b.abortTicks = 1
+		}
+	}
 }
 
 // probeBaseCost is the virtual op cost of the probe's hash lookup itself,
@@ -106,18 +145,36 @@ func (b *joinerBolt) Execute(m engine.Message, out *engine.Collector) {
 	case TupleMsg:
 		b.handleTuple(v, out)
 	case Marker:
-		b.handleMarker(out)
+		b.handleMarker(v, out)
 	case MigrateCmd:
 		b.startMigration(v, out)
 	case MigrateBatch:
 		b.installBatch(v)
 	case MigrateFlush:
 		b.handleFlush(v, out)
+	case MigrateAbort:
+		b.handleAbort(v, out)
+	case MigrateReturn:
+		b.handleReturn(v, out)
 	default:
 		if m.Stream == engine.TickStream {
 			b.onTick(out)
 		}
 	}
+}
+
+// replay re-processes one buffered tuple after a migration flush or
+// rollback, isolating panics per tuple: the engine isolates panics per
+// delivered message, but a replay processes a whole buffer inside one
+// delivery, and without the guard a single poisoned tuple (e.g. a user
+// predicate failure) would throw away every tuple queued behind it.
+func (b *joinerBolt) replay(tm TupleMsg, out *engine.Collector) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.met.ReplayPanics.Inc()
+		}
+	}()
+	b.handleTuple(tm, out)
 }
 
 // handleTuple stores or probes one tuple, honoring the two migration
@@ -130,11 +187,13 @@ func (b *joinerBolt) handleTuple(tm TupleMsg, out *engine.Collector) {
 		b.tempQueue = append(b.tempQueue, tm)
 		return
 	}
-	if b.inboundKeys != nil && b.inboundKeys[key] {
-		// The key is arriving: its batch is installed but the source's
-		// flush (older tuples) has not landed yet; keep FIFO by waiting.
-		b.inboundBuf = append(b.inboundBuf, tm)
-		return
+	for _, in := range b.inbound {
+		if in.keys[key] {
+			// The key is arriving: its batch is installed but the source's
+			// flush (older tuples) has not landed yet; keep FIFO by waiting.
+			in.buf = append(in.buf, tm)
+			return
+		}
 	}
 	switch tm.Op {
 	case OpStore:
@@ -195,7 +254,7 @@ func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
 	if b.migrating || cmd.Target.Instance == b.ctx.Task {
 		// Stale or self-targeted command: report an empty migration so the
 		// monitor re-arms.
-		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI)
+		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI, false)
 		return
 	}
 	input := core.SelectInput{
@@ -206,7 +265,7 @@ func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
 	}
 	selected := b.cfg.Migration.Selector(input)
 	if len(selected) == 0 {
-		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI)
+		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI, false)
 		return
 	}
 
@@ -218,9 +277,13 @@ func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
 	b.storedGauge().Add(int64(-len(batch.Tuples)))
 
 	b.migrating = true
+	b.aborting = false
+	b.migEpoch++
 	b.migTarget = cmd.Target.Instance
 	b.migMoved = len(batch.Tuples)
 	b.migLI = cmd.LI
+	b.migTicks = 0
+	b.markerSet = make(map[int]bool, b.cfg.Dispatchers)
 	b.migKeys = make(map[stream.Key]bool, len(selected))
 	for _, k := range selected {
 		b.migKeys[k] = true
@@ -228,80 +291,199 @@ func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
 		delete(b.probeCur, k)
 		delete(b.probePrev, k)
 	}
+	b.met.MigrationsInFlight.Add(1)
 
 	// Ship the tuples (l. 9-10), then ask every dispatcher task to reroute
-	// (l. 11-12); each will reply with a data-lane Marker.
+	// (l. 11-12); each will reply with a data-lane Marker. The update is
+	// re-broadcast on every tick until the handshake completes.
+	batch.Epoch = b.migEpoch
 	out.EmitDirect(migStream(b.side), b.migTarget, batch)
-	out.Emit(streamRouteUpd, RouteUpdate{
+	b.migUpdate = RouteUpdate{
 		Side:     b.side,
 		Keys:     selected,
 		NewOwner: b.migTarget,
 		Source:   b.ctx.Task,
-	})
-	b.markersNeeded = b.cfg.Dispatchers
+		Epoch:    b.migEpoch,
+		MarkerTo: b.ctx.Task,
+	}
+	out.Emit(streamRouteUpd, b.migUpdate)
 }
 
-// handleMarker counts dispatcher markers; the last one proves no further
-// tuples for the migrated keys can reach this instance, so the temporary
-// queue is flushed to the target and the migration completes (l. 13).
-func (b *joinerBolt) handleMarker(out *engine.Collector) {
-	if !b.migrating {
+// handleMarker routes a dispatcher marker to its role: forward markers
+// complete this instance's own outbound migration; revert markers feed
+// an inbound migration this instance is rolling back as the target.
+func (b *joinerBolt) handleMarker(v Marker, out *engine.Collector) {
+	if v.Revert {
+		if v.Origin == b.ctx.Task {
+			b.handleSourceRevertMarker(v, out)
+		} else {
+			b.handleRevertMarker(v, out)
+		}
 		return
 	}
-	b.markersNeeded--
-	if b.markersNeeded > 0 {
+	if !b.migrating || b.aborting || v.Origin != b.ctx.Task || v.Epoch != b.migEpoch {
+		return // stale or duplicated marker from an earlier attempt
+	}
+	b.markerSet[v.DispatcherTask] = true
+	if len(b.markerSet) < b.cfg.Dispatchers {
 		return
 	}
-	// Always send the flush — even empty — because it is what releases the
-	// target's inbound buffer.
+	// Markers from every dispatcher task prove no further tuples for the
+	// migrated keys can reach this instance: flush the temporary queue —
+	// even empty, it is what releases the target's inbound buffer (l. 13).
 	out.EmitDirect(migStream(b.side), b.migTarget, MigrateFlush{
 		Side:   b.side,
 		From:   b.ctx.Task,
+		Epoch:  b.migEpoch,
 		Queued: b.tempQueue,
 	})
 	keys := len(b.migKeys)
 	target, moved := b.migTarget, b.migMoved
+	b.clearSourceState()
+	b.reportDone(out, target, keys, moved, b.migLI, false)
+}
+
+// clearSourceState ends this instance's outbound migration attempt.
+func (b *joinerBolt) clearSourceState() {
 	b.migrating = false
+	b.aborting = false
 	b.migKeys = nil
 	b.tempQueue = nil
 	b.migMoved = 0
-	b.reportDone(out, target, keys, moved, b.migLI)
+	b.migTicks = 0
+	b.markerSet = nil
+	b.pendingReturn = nil
+	b.met.MigrationsInFlight.Add(-1)
 }
 
-// reportDone notifies the side's monitor that the migration completed.
-func (b *joinerBolt) reportDone(out *engine.Collector, target, keys, moved int, li float64) {
+// beginAbort flips a stuck attempt into rollback: routing reverts to
+// this instance, and the dispatchers' revert markers now flow to the
+// target, which will return the batch and everything it buffered.
+func (b *joinerBolt) beginAbort() {
+	b.aborting = true
+	b.migTicks = 0
+	// markerSet restarts: it now collects revert markers, this instance's
+	// own delivery fence for the rollback replay.
+	b.markerSet = make(map[int]bool, b.cfg.Dispatchers)
+	b.migUpdate = RouteUpdate{
+		Side:     b.side,
+		Keys:     b.migUpdate.Keys,
+		NewOwner: b.ctx.Task,
+		Source:   b.ctx.Task,
+		Epoch:    b.migEpoch,
+		Revert:   true,
+		MarkerTo: b.migTarget,
+	}
+}
+
+// handleSourceRevertMarker collects one dispatcher's revert confirmation
+// at the aborting source. The set fences this instance's own data lanes:
+// pre-forward-update tuples can still be in flight here (the forward
+// markers that would have proven otherwise were lost — that is why the
+// attempt aborted), and each revert marker arrives behind them.
+func (b *joinerBolt) handleSourceRevertMarker(v Marker, out *engine.Collector) {
+	if !b.migrating || !b.aborting || v.Epoch != b.migEpoch {
+		return // stale marker from an earlier attempt
+	}
+	b.markerSet[v.DispatcherTask] = true
+	b.tryFinishSourceAbort(out)
+}
+
+// handleReturn receives the target's rollback payload at the source; the
+// replay itself waits until the revert-marker fence is complete.
+func (b *joinerBolt) handleReturn(v MigrateReturn, out *engine.Collector) {
+	if !b.migrating || !b.aborting || v.Origin != b.ctx.Task || v.Epoch != b.migEpoch {
+		return // duplicate return of an attempt already rolled back
+	}
+	b.pendingReturn = &v
+	b.tryFinishSourceAbort(out)
+}
+
+// tryFinishSourceAbort completes the rollback once both conditions hold:
+// the target returned its payload, and revert markers from every
+// dispatcher task arrived here. Then every pre-update tuple is in the
+// temporary queue, every tuple that reached the target is in the
+// returned buffer, and the two merge by Seq back into exactly the
+// original per-key arrival order — tuples held here bracket the tuples
+// that reached the target (before the forward update and after the
+// revert), so plain concatenation would interleave wrongly.
+func (b *joinerBolt) tryFinishSourceAbort(out *engine.Collector) {
+	if b.pendingReturn == nil || len(b.markerSet) < b.cfg.Dispatchers {
+		return
+	}
+	ret := b.pendingReturn
+	b.store.AddBulk(ret.Tuples)
+	b.storedGauge().Add(int64(len(ret.Tuples)))
+	b.consume(float64(len(ret.Tuples)))
+
+	merged := make([]TupleMsg, 0, len(b.tempQueue)+len(ret.Buffered))
+	merged = append(append(merged, b.tempQueue...), ret.Buffered...)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Seq < merged[j].Seq })
+
+	keys := len(b.migKeys)
+	target, moved := b.migTarget, b.migMoved
+	// Clear the migration before replaying so the tuples are processed
+	// instead of re-buffered.
+	b.clearSourceState()
+	for _, tm := range merged {
+		b.replay(tm, out)
+	}
+	b.reportDone(out, target, keys, moved, b.migLI, true)
+}
+
+// reportDone notifies the side's monitor that the migration attempt
+// ended (completed or aborted), re-arming its trigger.
+func (b *joinerBolt) reportDone(out *engine.Collector, target, keys, moved int, li float64, aborted bool) {
 	if keys > 0 {
-		b.met.Migrations.Inc()
-		b.met.MigratedKeys.Add(int64(keys))
-		b.met.MigratedTuples.Add(int64(moved))
+		if aborted {
+			b.met.MigrationAborts.Inc()
+		} else {
+			b.met.Migrations.Inc()
+			b.met.MigratedKeys.Add(int64(keys))
+			b.met.MigratedTuples.Add(int64(moved))
+		}
 		b.met.RecordMigration(MigrationEvent{
-			At:     stream.Now(),
-			Side:   b.side,
-			Source: b.ctx.Task,
-			Target: target,
-			LI:     li,
-			Keys:   keys,
-			Moved:  moved,
+			At:      stream.Now(),
+			Side:    b.side,
+			Source:  b.ctx.Task,
+			Target:  target,
+			LI:      li,
+			Keys:    keys,
+			Moved:   moved,
+			Aborted: aborted,
 		})
 	}
 	out.Emit(doneStream(b.side), MigrationDone{
-		Side:   b.side,
-		Source: b.ctx.Task,
-		Target: target,
-		Keys:   keys,
-		Moved:  moved,
+		Side:    b.side,
+		Source:  b.ctx.Task,
+		Target:  target,
+		Keys:    keys,
+		Moved:   moved,
+		Aborted: aborted,
 	})
 }
 
 // installBatch is the target-side arrival: adopt the keys and hold any
 // directly-routed tuples until the source's flush lands.
 func (b *joinerBolt) installBatch(batch MigrateBatch) {
-	if b.inboundKeys == nil {
-		b.inboundKeys = make(map[stream.Key]bool, len(batch.Keys))
+	if b.finished[batch.From] >= batch.Epoch {
+		return // duplicate of an attempt already completed or rolled back
+	}
+	if in, ok := b.inbound[batch.From]; ok && in.epoch == batch.Epoch {
+		return // duplicate of the in-flight attempt
+	}
+	if b.inbound == nil {
+		b.inbound = make(map[int]*inboundMig)
+	}
+	in := &inboundMig{
+		origin: batch.From,
+		epoch:  batch.Epoch,
+		keys:   make(map[stream.Key]bool, len(batch.Keys)),
 	}
 	for _, k := range batch.Keys {
-		b.inboundKeys[k] = true
+		in.keys[k] = true
 	}
+	b.inbound[batch.From] = in
 	b.store.AddBulk(batch.Tuples)
 	b.storedGauge().Add(int64(len(batch.Tuples)))
 	// Installing migrated tuples is real work on the target node.
@@ -311,19 +493,111 @@ func (b *joinerBolt) installBatch(batch MigrateBatch) {
 // handleFlush replays the source's temporary queue, then the tuples this
 // instance buffered while waiting — restoring the original per-key order.
 func (b *joinerBolt) handleFlush(flush MigrateFlush, out *engine.Collector) {
-	b.inboundKeys = nil
-	buffered := b.inboundBuf
-	b.inboundBuf = nil
-	for _, tm := range flush.Queued {
-		b.handleTuple(tm, out)
+	in, ok := b.inbound[flush.From]
+	if !ok || in.epoch != flush.Epoch || in.aborting {
+		return // stale or duplicated flush
 	}
-	for _, tm := range buffered {
-		b.handleTuple(tm, out)
+	delete(b.inbound, flush.From)
+	b.setFinished(flush.From, flush.Epoch)
+	for _, tm := range flush.Queued {
+		b.replay(tm, out)
+	}
+	for _, tm := range in.buf {
+		b.replay(tm, out)
 	}
 }
 
-// onTick reports load to the monitor and advances the window.
+// handleRevertMarker collects one dispatcher's revert confirmation at
+// the abort target.
+func (b *joinerBolt) handleRevertMarker(v Marker, out *engine.Collector) {
+	in, ok := b.inbound[v.Origin]
+	if !ok || in.epoch != v.Epoch {
+		return // stale marker from an earlier attempt
+	}
+	if in.markers == nil {
+		in.markers = make(map[int]bool, b.cfg.Dispatchers)
+	}
+	in.markers[v.DispatcherTask] = true
+	b.maybeFinishAbort(in, out)
+}
+
+// handleAbort is the target-side entry of the rollback: mark the inbound
+// attempt as aborting (the revert markers may already be trickling in),
+// or — for a duplicate abort of an attempt already rolled back — re-send
+// the return idempotently, since the original may still be in flight
+// when the source re-asks.
+func (b *joinerBolt) handleAbort(v MigrateAbort, out *engine.Collector) {
+	if in, ok := b.inbound[v.From]; ok && in.epoch == v.Epoch {
+		in.aborting = true
+		b.maybeFinishAbort(in, out)
+		return
+	}
+	if ret, ok := b.lastReturn[v.From]; ok && ret.Epoch == v.Epoch {
+		out.EmitDirect(migStream(b.side), v.From, ret)
+	}
+}
+
+// maybeFinishAbort completes the rollback once revert markers from every
+// dispatcher task have arrived: by then every directly-routed tuple of
+// the migrated keys that will ever reach this instance is in the buffer,
+// and — because all of them were buffered, never applied — the store's
+// content for those keys is exactly the installed batch. Both go back to
+// the source.
+func (b *joinerBolt) maybeFinishAbort(in *inboundMig, out *engine.Collector) {
+	if !in.aborting || len(in.markers) < b.cfg.Dispatchers {
+		return
+	}
+	var tuples []stream.Tuple
+	for k := range in.keys {
+		tuples = append(tuples, b.store.RemoveKey(k)...)
+	}
+	b.storedGauge().Add(int64(-len(tuples)))
+	ret := MigrateReturn{
+		Side:     b.side,
+		From:     b.ctx.Task,
+		Origin:   in.origin,
+		Epoch:    in.epoch,
+		Tuples:   tuples,
+		Buffered: in.buf,
+	}
+	delete(b.inbound, in.origin)
+	b.setFinished(in.origin, in.epoch)
+	if b.lastReturn == nil {
+		b.lastReturn = make(map[int]MigrateReturn)
+	}
+	b.lastReturn[in.origin] = ret
+	out.EmitDirect(migStream(b.side), in.origin, ret)
+}
+
+// setFinished records origin's highest finished epoch at this target.
+func (b *joinerBolt) setFinished(origin int, epoch uint64) {
+	if b.finished == nil {
+		b.finished = make(map[int]uint64)
+	}
+	if b.finished[origin] < epoch {
+		b.finished[origin] = epoch
+	}
+}
+
+// onTick reports load to the monitor, advances the window, and drives
+// the migration handshake: the current routing update is re-broadcast
+// until it completes (recovering dropped updates and markers), and a
+// handshake stuck past AbortTimeout flips into the rollback protocol.
 func (b *joinerBolt) onTick(out *engine.Collector) {
+	if b.migrating {
+		b.migTicks++
+		if !b.aborting && b.abortTicks > 0 && b.migTicks > b.abortTicks {
+			b.beginAbort()
+		}
+		out.Emit(streamRouteUpd, b.migUpdate)
+		if b.aborting {
+			out.EmitDirect(migStream(b.side), b.migTarget, MigrateAbort{
+				Side:  b.side,
+				From:  b.ctx.Task,
+				Epoch: b.migEpoch,
+			})
+		}
+	}
 	if b.store.Windowed() {
 		removed := b.store.Advance(stream.Now())
 		if removed > 0 {

@@ -39,6 +39,14 @@ type TupleMsg struct {
 	T      stream.Tuple
 	Op     Op
 	SentAt int64 // unix nanoseconds, stamped by the dispatcher
+	// Seq is a per-dispatcher-task monotone counter. All traffic of one
+	// key flows through a single dispatcher task, so for any key the Seq
+	// order IS the arrival order — which lets an aborted migration merge
+	// the source's temporary queue with the target's returned buffer back
+	// into original per-key order (the two can interleave: tuples held at
+	// the source before the routing update and again after the revert
+	// bracket the tuples that reached the target in between).
+	Seq uint64
 }
 
 // LoadReport is the periodic statistic a join instance sends to its side's
@@ -63,10 +71,13 @@ type MigrateCmd struct {
 // MigrateBatch carries the stored tuples of the selected keys from the
 // source instance to the target instance (Algorithm 2 line 10). Keys lists
 // every migrated key, including keys with no stored tuples (probe-only
-// keys whose routing moves without payload).
+// keys whose routing moves without payload). Epoch identifies the
+// migration attempt of the From instance, so stale or duplicated batches
+// are recognized and dropped.
 type MigrateBatch struct {
 	Side   stream.Side
 	From   int
+	Epoch  uint64
 	Keys   []stream.Key
 	Tuples []stream.Tuple
 }
@@ -78,37 +89,89 @@ type MigrateBatch struct {
 type MigrateFlush struct {
 	Side   stream.Side
 	From   int
+	Epoch  uint64
 	Queued []TupleMsg
 }
 
 // RouteUpdate tells every dispatcher task that the listed keys of one side
 // now live on instance NewOwner (Algorithm 2 line 12).
+//
+// The update is idempotent and the source re-broadcasts it every stats
+// tick until its marker handshake completes, so dropped, delayed, or
+// duplicated updates all converge: dispatchers order attempts by
+// (Epoch, Revert) per source and ignore anything stale.
 type RouteUpdate struct {
 	Side     stream.Side
 	Keys     []stream.Key
 	NewOwner int
-	Source   int // instance that must receive the markers
+	Source   int // migration source instance (identifies the attempt)
+	// Epoch is the source's migration attempt number; Revert marks the
+	// rollback update of an aborting attempt (same epoch, routing
+	// restored to the source).
+	Epoch  uint64
+	Revert bool
+	// MarkerTo is the join instance the dispatchers must send their
+	// markers to: the source for a forward update (it waits to flush its
+	// temporary queue), the target for a revert (it waits to return the
+	// batch and its buffer).
+	MarkerTo int
 }
 
 // Marker is a dispatcher task's confirmation that it applied a RouteUpdate.
-// Unlike a plain ack it travels on the *data* lane to the source instance,
-// behind every tuple that task routed to the source before the update — so
-// when the source has collected markers from all dispatcher tasks, it has
-// provably seen (and buffered) every tuple of the migrated keys that will
-// ever reach it, and can flush its temporary queue with per-key FIFO order
-// intact. This refines the paper's Algorithm 2 notification handshake to
-// stay exactly-once under parallel dispatchers.
+// Unlike a plain ack it travels on the *data* lane to the instance named
+// by the update's MarkerTo, behind every tuple that task routed there
+// before the update — so when that instance has collected markers from
+// all dispatcher tasks (a distinct set, since faults can duplicate
+// markers), it has provably seen every tuple of the migrated keys that
+// will ever reach it. The source uses forward markers to flush its
+// temporary queue. A revert update fences BOTH ends: dispatchers send
+// revert markers to the target (which then returns the batch and its
+// buffer) and to the source, which replays the merged buffers only once
+// its own lanes are clean — the forward markers that would have fenced
+// them are the very messages whose loss triggered the abort. This
+// refines the paper's Algorithm 2 notification handshake to stay
+// exactly-once under parallel dispatchers and lossy control lanes.
 type Marker struct {
 	Side           stream.Side
 	DispatcherTask int
+	Origin         int // migration source instance
+	Epoch          uint64
+	Revert         bool
+}
+
+// MigrateAbort tells the migration target that the source has given up
+// on the marker handshake and is rolling back: the target must collect
+// revert markers from every dispatcher, then send everything it holds
+// for the attempt back in a MigrateReturn. Re-sent every stats tick
+// until the return arrives; the target answers duplicates idempotently.
+type MigrateAbort struct {
+	Side  stream.Side
+	From  int // migration source instance
+	Epoch uint64
+}
+
+// MigrateReturn is the abort rollback payload: the stored tuples the
+// target installed from the batch plus every directly-routed tuple it
+// buffered while the migration was in flight. The source re-installs the
+// tuples and replays its temporary queue merged with Buffered in Seq
+// order, restoring per-key FIFO as if the migration never happened.
+type MigrateReturn struct {
+	Side     stream.Side
+	From     int // target instance sending the return
+	Origin   int // migration source instance
+	Epoch    uint64
+	Tuples   []stream.Tuple
+	Buffered []TupleMsg
 }
 
 // MigrationDone tells the monitor the migration finished, re-arming its
-// trigger. Moved reports how many stored tuples changed instance.
+// trigger. Moved reports how many stored tuples changed instance (or,
+// for an aborted attempt, how many made the round trip back).
 type MigrationDone struct {
-	Side   stream.Side
-	Source int
-	Target int
-	Keys   int
-	Moved  int
+	Side    stream.Side
+	Source  int
+	Target  int
+	Keys    int
+	Moved   int
+	Aborted bool
 }

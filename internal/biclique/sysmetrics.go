@@ -28,6 +28,17 @@ type SystemMetrics struct {
 	Migrations     metrics.Counter
 	MigratedKeys   metrics.Counter
 	MigratedTuples metrics.Counter
+	// MigrationAborts counts attempts that rolled back after the marker
+	// handshake timed out (see MigrationConfig.AbortTimeout).
+	MigrationAborts metrics.Counter
+	// MigrationsInFlight gauges migration attempts whose handshake (or
+	// rollback) has not finished. Quiescence checks poll it: engine
+	// settling with a non-zero value means tuples are still parked in
+	// migration buffers awaiting a tick-driven retransmit.
+	MigrationsInFlight metrics.Gauge
+	// ReplayPanics counts tuples lost to panics during migration replay
+	// (each poisoned tuple costs only itself; see joinerBolt.replay).
+	ReplayPanics metrics.Counter
 
 	mu sync.Mutex
 	// liSeries records the real-time degree of load imbalance per side
@@ -40,13 +51,14 @@ type SystemMetrics struct {
 
 // MigrationEvent records one completed migration for diagnostics.
 type MigrationEvent struct {
-	At     int64       `json:"at"` // unix nanoseconds
-	Side   stream.Side `json:"side"`
-	Source int         `json:"source"`
-	Target int         `json:"target"`
-	LI     float64     `json:"li"` // imbalance that triggered it
-	Keys   int         `json:"keys"`
-	Moved  int         `json:"moved"`
+	At      int64       `json:"at"` // unix nanoseconds
+	Side    stream.Side `json:"side"`
+	Source  int         `json:"source"`
+	Target  int         `json:"target"`
+	LI      float64     `json:"li"` // imbalance that triggered it
+	Keys    int         `json:"keys"`
+	Moved   int         `json:"moved"`
+	Aborted bool        `json:"aborted,omitempty"`
 }
 
 // NewSystemMetrics returns metrics sized for one system.

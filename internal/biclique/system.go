@@ -90,6 +90,14 @@ func Start(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Chaos != nil {
+		if cfg.Engine.Inject == nil {
+			cfg.Engine.Inject = chaosInject(cfg.Chaos)
+		}
+		if cfg.Engine.Stall == nil {
+			cfg.Engine.Stall = chaosStall(cfg.Chaos)
+		}
+	}
 	cluster, err := engine.Submit(topo, cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -99,6 +107,13 @@ func Start(cfg Config) (*System, error) {
 
 // Metrics returns the live measurements of the system.
 func (s *System) Metrics() *SystemMetrics { return s.met }
+
+// MigrationsInFlight reports migration attempts whose handshake or
+// rollback has not finished. Completeness checks under fault injection
+// poll it after WaitComplete: the engine can settle during a quiet gap
+// while a joiner waits for a tick-driven retransmit, and tuples parked
+// in migration buffers only surface once this drops to zero.
+func (s *System) MigrationsInFlight() int64 { return s.met.MigrationsInFlight.Value() }
 
 // Ingested returns the number of tuples the spouts have emitted so far.
 func (s *System) Ingested() int64 {

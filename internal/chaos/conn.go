@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"errors"
+	"time"
+
+	"fastjoin/internal/transport"
+)
+
+// ErrInjectedReset is the error a chaos-wrapped connection returns when
+// the injector resets it: the caller sees the same failure surface as a
+// peer crash and must run its reconnect path.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// ClassifyMsg maps a transport message to its fault class. Nil means
+// "everything is ClassOther".
+type ClassifyMsg func(m transport.Message) Class
+
+// faultConn wraps a transport.Conn, running every Send through the
+// injector. Delays are applied inline (pure added latency — transport
+// framing forbids reorder within a connection), drops return success
+// without transmitting, and resets close the underlying connection so
+// the caller exercises its retry path.
+type faultConn struct {
+	inner    transport.Conn
+	in       *Injector
+	lane     string
+	classify ClassifyMsg
+}
+
+// WrapConn returns a Conn that injects faults on Send according to the
+// injector's profile. lane names this connection's decision stream;
+// classify may be nil.
+func WrapConn(inner transport.Conn, in *Injector, lane string, classify ClassifyMsg) transport.Conn {
+	if in == nil {
+		return inner
+	}
+	return &faultConn{inner: inner, in: in, lane: lane, classify: classify}
+}
+
+func (c *faultConn) Send(m transport.Message) error {
+	if c.in.ResetConn(c.lane) {
+		_ = c.inner.Close()
+		return ErrInjectedReset
+	}
+	cls := ClassOther
+	if c.classify != nil {
+		cls = c.classify(m)
+	}
+	switch d := c.in.Decide(c.lane, cls); d.Op {
+	case OpDrop:
+		return nil
+	case OpDup:
+		if err := c.inner.Send(m); err != nil {
+			return err
+		}
+	case OpDelay:
+		time.Sleep(d.Delay)
+	}
+	return c.inner.Send(m)
+}
+
+func (c *faultConn) Recv() (transport.Message, error) { return c.inner.Recv() }
+func (c *faultConn) Close() error                     { return c.inner.Close() }

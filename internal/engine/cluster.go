@@ -150,6 +150,31 @@ func (c *LocalCluster) send(q chan Message, m Message) bool {
 	}
 }
 
+// sendLater enqueues m after d elapses. The message counts as pending from
+// the moment of scheduling — while the producer is still inside its
+// lifecycle callback — so quiescence detection never observes a window in
+// which a delayed message is neither pending nor queued.
+func (c *LocalCluster) sendLater(q chan Message, m Message, d time.Duration) {
+	c.pending.Add(1)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-c.done:
+			c.pending.Add(-1)
+			return
+		case <-t.C:
+		}
+		select {
+		case q <- m:
+		case <-c.done:
+			c.pending.Add(-1)
+		}
+	}()
+}
+
 // runSpout drives one spout task.
 func (c *LocalCluster) runSpout(tk *task) {
 	defer c.wg.Done()
@@ -220,6 +245,15 @@ func (c *LocalCluster) dispatch(tk *task, m Message) {
 			tk.panics.Add(1)
 		}
 	}()
+	if c.cfg.Stall != nil && m.Stream != TickStream {
+		if d := c.cfg.Stall(tk.ctx, m.Stream, m.Value); d > 0 {
+			// A stalled task sleeps with the message already dequeued: the
+			// pending count stays positive, so Drain waits the stall out
+			// (or reports it in its timeout diagnostic) instead of
+			// declaring a false quiescence.
+			time.Sleep(d)
+		}
+	}
 	tk.bolt.Execute(m, tk.collector)
 	tk.processed.Add(1)
 }
@@ -261,6 +295,21 @@ func (c *LocalCluster) route(tk *task, sub *runtimeSub, value any, directTask in
 		q := target.data
 		if sub.control {
 			q = target.ctrl
+		}
+		if c.cfg.Inject != nil {
+			switch d := c.cfg.Inject(target.ctx, sub.stream, sub.control, value); d.Op {
+			case FaultDrop:
+				// Silently discarded: not pending, not counted as emitted.
+				return
+			case FaultDup:
+				if c.send(q, m) {
+					tk.emitted.Add(1)
+				}
+			case FaultDelay:
+				c.sendLater(q, m, d.Delay)
+				tk.emitted.Add(1)
+				return
+			}
 		}
 		if c.send(q, m) {
 			tk.emitted.Add(1)

@@ -118,6 +118,40 @@ func (k groupKind) String() string {
 	}
 }
 
+// FaultOp is the action a fault injector takes on one message delivery.
+type FaultOp uint8
+
+const (
+	// FaultNone delivers the message normally.
+	FaultNone FaultOp = iota
+	// FaultDrop discards the message without enqueuing it.
+	FaultDrop
+	// FaultDup enqueues the message twice.
+	FaultDup
+	// FaultDelay enqueues the message after FaultDecision.Delay elapses;
+	// messages enqueued on the same lane in the meantime overtake it, so a
+	// delay is also a reorder.
+	FaultDelay
+)
+
+// FaultDecision is an injector's verdict on one enqueue.
+type FaultDecision struct {
+	Op FaultOp
+	// Delay is the hold time for FaultDelay.
+	Delay time.Duration
+}
+
+// InjectFunc intercepts every message enqueue (except locally generated
+// ticks) and decides its fate. It is called from producer goroutines
+// concurrently and must be safe for concurrent use. See internal/chaos for
+// a deterministic, seedable implementation.
+type InjectFunc func(target Context, stream string, control bool, value any) FaultDecision
+
+// StallFunc is consulted before each bolt Execute; a positive duration
+// stalls the task for that long first (emulating a slow or briefly frozen
+// worker). Must be safe for concurrent use.
+type StallFunc func(target Context, stream string, value any) time.Duration
+
 // Config tunes the local cluster.
 type Config struct {
 	// QueueSize is the capacity of each task's data queue (default 1024).
@@ -127,6 +161,13 @@ type Config struct {
 	// CtrlQueueSize is the capacity of each task's control queue
 	// (default 4096).
 	CtrlQueueSize int
+	// Inject, when set, runs every enqueue through a fault injector
+	// (message drop, duplication, delay/reorder). Tick messages bypass it:
+	// they are local timers, not transported messages.
+	Inject InjectFunc
+	// Stall, when set, can pause a task before processing a message,
+	// emulating slow-task stalls.
+	Stall StallFunc
 }
 
 func (c Config) withDefaults() Config {

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"math"
+	"math/rand"
 	"time"
 
 	"fastjoin/internal/core"
@@ -32,6 +33,11 @@ type sim struct {
 	inst   [2][]*instance
 
 	monitors [2]*core.Monitor
+
+	// chaos draws fault-emulation decisions; nil when chaos is off. It is
+	// seeded from cfg.Seed and consumed only inside the (deterministic)
+	// event loop, so runs replay exactly.
+	chaos *rand.Rand
 
 	latency *metrics.Histogram
 	res     *Result
@@ -72,6 +78,9 @@ func newSim(cfg Config) *sim {
 			TargetProtection: secDur(cfg.TargetProtectSec),
 			MinStored:        64,
 		})
+	}
+	if cfg.Chaos.enabled() {
+		s.chaos = rand.New(rand.NewSource(int64(cfg.Seed)*0x9e3779b9 + 0x7f4a7c15))
 	}
 	s.schedule(0, evArrival, nil)
 	s.schedule(cfg.StatsInterval, evStats, nil)
@@ -273,6 +282,18 @@ func (s *sim) onStats() {
 			in.probePerKey = make(map[stream.Key]int64)
 		}
 	}
+	if s.chaos != nil && s.cfg.Chaos.StallProb > 0 {
+		// Chaos stalls: synthetic work that blocks the instance for
+		// StallSec, delaying everything queued behind it — the load-model
+		// analogue of the live StallFunc.
+		for side := 0; side < 2; side++ {
+			for _, in := range s.inst[side] {
+				if s.chaos.Float64() < s.cfg.Chaos.StallProb {
+					s.enqueue(in, task{cost: s.cfg.Chaos.StallSec * s.cfg.ServiceRate, enqueued: s.now})
+				}
+			}
+		}
+	}
 }
 
 // migrate applies one migration: select keys, move per-key state, re-home
@@ -312,6 +333,23 @@ func (s *sim) migrate(side stream.Side, d *core.Decision) {
 		MinBenefit: s.cfg.MinBenefit,
 	})
 	if len(selected) == 0 {
+		return
+	}
+
+	if s.chaos != nil && s.chaos.Float64() < s.cfg.Chaos.MigFailProb {
+		// Aborted handshake: the batch was shipped to the target and
+		// returned, so both endpoints pay the transfer twice, but routing
+		// and stored state roll back unchanged (the live dual-fence abort).
+		var would int64
+		for _, k := range selected {
+			would += src.storedPerKey[k]
+		}
+		if would > 0 {
+			cost := 2 * float64(would) * s.cfg.TransferCost
+			s.enqueue(src, task{cost: cost, enqueued: s.now})
+			s.enqueue(dst, task{cost: cost, enqueued: s.now})
+		}
+		s.res.MigrationAborts++
 		return
 	}
 

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, Seq: 7, Payload: []byte("session-1")},
+		{Type: FrameWelcome, Seq: 42},
+		{Type: FrameData, Seq: 1, Ack: 9, Payload: []byte{0, 1, 2, 255}},
+		{Type: FrameAck, Ack: ^uint64(0)},
+		{Type: FrameBye},
+	}
+	for _, f := range frames {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", f, err)
+		}
+		got, n, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", f, err)
+		}
+		if n != len(b) {
+			t.Errorf("consumed %d of %d bytes", n, len(b))
+		}
+		if got.Type != f.Type || got.Seq != f.Seq || got.Ack != f.Ack || !bytes.Equal(got.Payload, f.Payload) {
+			t.Errorf("round trip: got %+v, want %+v", got, f)
+		}
+	}
+}
+
+func TestFrameReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Type: FrameData, Seq: 3, Ack: 2, Payload: []byte("hello")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Seq != in.Seq || out.Ack != in.Ack || !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeFrameRejectsBadInput(t *testing.T) {
+	if _, _, err := DecodeFrame(nil); !errors.Is(err, ErrFrameShort) {
+		t.Errorf("nil input: %v, want ErrFrameShort", err)
+	}
+	// Oversized length prefix must be rejected before allocation.
+	big := make([]byte, FrameHeaderLen)
+	big[0], big[1], big[2], big[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeFrame(big); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("oversized length: %v, want ErrFrameSize", err)
+	}
+	// Unknown frame type.
+	bad := make([]byte, FrameHeaderLen)
+	bad[4] = 0xee
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameType) {
+		t.Errorf("bad type: %v, want ErrFrameType", err)
+	}
+	// Header valid but payload truncated.
+	tr, err := EncodeFrame(Frame{Type: FrameData, Payload: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFrame(tr[:len(tr)-2]); !errors.Is(err, ErrFrameShort) {
+		t.Errorf("truncated payload: %v, want ErrFrameShort", err)
+	}
+	if _, err := EncodeFrame(Frame{Type: 0}); !errors.Is(err, ErrFrameType) {
+		t.Errorf("encode zero type: %v, want ErrFrameType", err)
+	}
+}
+
+// FuzzDecodeFrame checks the frame parser never panics and that every
+// accepted frame re-encodes to exactly the bytes it consumed.
+func FuzzDecodeFrame(f *testing.F) {
+	seeds := []Frame{
+		{Type: FrameHello, Seq: 1, Payload: []byte("session-9")},
+		{Type: FrameWelcome, Seq: 2},
+		{Type: FrameData, Seq: 3, Ack: 4, Payload: []byte("payload")},
+		{Type: FrameAck, Ack: 5},
+		{Type: FrameBye},
+	}
+	for _, s := range seeds {
+		b, err := EncodeFrame(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v but consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n < FrameHeaderLen || n > len(b) {
+			t.Fatalf("consumed %d bytes of %d", n, len(b))
+		}
+		re, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, b[:n])
+		}
+	})
+}

@@ -1,0 +1,582 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The reliable layer upgrades a TCP transport link to survive
+// connection loss: each side numbers its outbound messages, buffers them
+// until acknowledged, and on reconnect resends everything the peer has
+// not seen. The client owns redial (with RetryPolicy backoff); the
+// server parks a disconnected session and reattaches it when the same
+// session ID dials back in — including after the listener itself was
+// torn down and restarted. Receivers drop already-delivered sequence
+// numbers, so a message is delivered exactly once even when a resend
+// races an in-flight original. A Bye frame distinguishes clean shutdown
+// (Recv returns io.EOF) from a crash (client reconnects, server parks).
+
+// ReliableOptions tunes a reliable endpoint.
+type ReliableOptions struct {
+	// Net supplies the underlying socket timeouts. ReadTimeout is left
+	// to the caller: on a reliable link an expired read deadline behaves
+	// like a connection loss and triggers reconnect (a crude idle
+	// detector).
+	Net Options
+	// Retry shapes the client's dial/redial backoff.
+	Retry RetryPolicy
+	// SessionID names the client's session for reattachment. Defaults to
+	// a process-unique counter value.
+	SessionID string
+	// QueueSize is the receive buffer depth in messages (default 1024).
+	QueueSize int
+	// HandshakeTimeout bounds the Hello/Welcome exchange (default 5s).
+	HandshakeTimeout time.Duration
+}
+
+func (o ReliableOptions) withDefaults() ReliableOptions {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	return o
+}
+
+var sessionCounter atomic.Int64
+
+// encodeMessage gob-encodes a message standalone (fresh encoder, so the
+// bytes are self-contained and replayable across connections).
+func encodeMessage(m Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeMessage(b []byte) (Message, error) {
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return Message{}, fmt.Errorf("transport: decode: %w", err)
+	}
+	return m, nil
+}
+
+// recvItem is one delivery to the application: a message or a terminal
+// error.
+type recvItem struct {
+	m   Message
+	err error
+}
+
+// endpoint is the session state shared by both ends of a reliable link:
+// outbound sequence numbering + unacked buffer, inbound dedup cursor,
+// and the delivery queue.
+type endpoint struct {
+	opts ReliableOptions
+
+	// writeMu serializes frame writes to the current conn. Lock order:
+	// writeMu before mu.
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	nc       net.Conn // current attachment; nil while disconnected
+	nextSeq  uint64   // sequence number for the next outbound data frame
+	unacked  []Frame  // outbound data frames the peer has not acked
+	recvNext uint64   // next inbound sequence number expected
+
+	recvQ     chan recvItem
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func newEndpoint(opts ReliableOptions) *endpoint {
+	return &endpoint{
+		opts:   opts,
+		recvQ:  make(chan recvItem, opts.QueueSize),
+		closed: make(chan struct{}),
+	}
+}
+
+func (e *endpoint) isClosed() bool {
+	select {
+	case <-e.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// shutdown closes the endpoint; if bye is true a Bye frame is attempted
+// first so the peer sees a clean close.
+func (e *endpoint) shutdown(bye bool) {
+	e.closeOnce.Do(func() {
+		if bye {
+			e.writeMu.Lock()
+			e.mu.Lock()
+			nc := e.nc
+			e.mu.Unlock()
+			if nc != nil {
+				_ = e.writeOn(nc, Frame{Type: FrameBye})
+			}
+			e.writeMu.Unlock()
+		}
+		close(e.closed)
+		e.mu.Lock()
+		if e.nc != nil {
+			_ = e.nc.Close()
+		}
+		e.mu.Unlock()
+	})
+}
+
+// writeOn writes one frame to conn under the write timeout. Callers hold
+// writeMu.
+func (e *endpoint) writeOn(nc net.Conn, f Frame) error {
+	if e.opts.Net.WriteTimeout > 0 {
+		_ = nc.SetWriteDeadline(time.Now().Add(e.opts.Net.WriteTimeout))
+	}
+	return WriteFrame(nc, f)
+}
+
+// sendData numbers, buffers, and best-effort transmits one message. An
+// error is returned only when the message will never be sent (encoding
+// failure or closed endpoint); transmission failures leave the frame in
+// the unacked buffer for resend after reattachment.
+func (e *endpoint) sendData(m Message) error {
+	payload, err := encodeMessage(m)
+	if err != nil {
+		return err
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if e.isClosed() {
+		return ErrClosed
+	}
+	e.mu.Lock()
+	f := Frame{Type: FrameData, Seq: e.nextSeq, Ack: e.recvNext, Payload: payload}
+	e.nextSeq++
+	e.unacked = append(e.unacked, f)
+	nc := e.nc
+	e.mu.Unlock()
+	if nc != nil {
+		// A write error here is recovered by reattachment; the read pump
+		// notices the dead conn and drives reconnect (client) or parks
+		// (server).
+		_ = e.writeOn(nc, f)
+	}
+	return nil
+}
+
+// ackTo discards buffered frames the peer has acknowledged (seq < ack).
+func (e *endpoint) ackTo(ack uint64) {
+	e.mu.Lock()
+	i := 0
+	for i < len(e.unacked) && e.unacked[i].Seq < ack {
+		i++
+	}
+	if i > 0 {
+		e.unacked = append([]Frame(nil), e.unacked[i:]...)
+	}
+	e.mu.Unlock()
+}
+
+// handleData processes one inbound data frame: exactly-once delivery via
+// the recvNext cursor, then an ack. Returns false once the endpoint is
+// closed.
+func (e *endpoint) handleData(nc net.Conn, f Frame) bool {
+	e.ackTo(f.Ack)
+	e.mu.Lock()
+	fresh := f.Seq == e.recvNext
+	future := f.Seq > e.recvNext
+	if fresh {
+		e.recvNext++
+	}
+	ack := e.recvNext
+	e.mu.Unlock()
+	switch {
+	case fresh:
+		m, err := decodeMessage(f.Payload)
+		select {
+		case e.recvQ <- recvItem{m: m, err: err}:
+		case <-e.closed:
+			return false
+		}
+	case future:
+		// Resend-from-ack over FIFO TCP cannot skip; a gap means a
+		// protocol violation, so surface it rather than guess.
+		select {
+		case e.recvQ <- recvItem{err: fmt.Errorf("transport: sequence gap: got %d, expected %d", f.Seq, ack)}:
+		case <-e.closed:
+		}
+		return false
+	}
+	// Ack fresh and duplicate frames alike: a duplicate means the peer
+	// has not seen our ack yet.
+	e.writeMu.Lock()
+	_ = e.writeOn(nc, Frame{Type: FrameAck, Ack: ack})
+	e.writeMu.Unlock()
+	return true
+}
+
+// pump reads frames from nc until the connection dies or the peer says
+// Bye. Returns nil on a clean Bye and the read error otherwise.
+func (e *endpoint) pump(nc net.Conn) error {
+	for {
+		select {
+		case <-e.closed:
+			return ErrClosed
+		default:
+		}
+		if e.opts.Net.ReadTimeout > 0 {
+			_ = nc.SetReadDeadline(time.Now().Add(e.opts.Net.ReadTimeout))
+		}
+		f, err := ReadFrame(nc)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case FrameData:
+			if !e.handleData(nc, f) {
+				return ErrClosed
+			}
+		case FrameAck:
+			e.ackTo(f.Ack)
+		case FrameBye:
+			select {
+			case e.recvQ <- recvItem{err: io.EOF}:
+			case <-e.closed:
+			}
+			return nil
+		}
+	}
+}
+
+// attach publishes nc as the live connection, trims frames the peer
+// acked (everything below peerNext), and resends the rest in order.
+func (e *endpoint) attach(nc net.Conn, peerNext uint64) error {
+	e.ackTo(peerNext)
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.mu.Lock()
+	if e.nc != nil && e.nc != nc {
+		_ = e.nc.Close()
+	}
+	e.nc = nc
+	pending := append([]Frame(nil), e.unacked...)
+	e.mu.Unlock()
+	for _, f := range pending {
+		if err := e.writeOn(nc, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv returns the next delivered message; io.EOF after a clean close.
+func (e *endpoint) Recv() (Message, error) {
+	select {
+	case it := <-e.recvQ:
+		return it.m, it.err
+	case <-e.closed:
+		// Drain deliveries that beat the close.
+		select {
+		case it := <-e.recvQ:
+			return it.m, it.err
+		default:
+			return Message{}, io.EOF
+		}
+	}
+}
+
+// ------------------------------------------------------------- client
+
+// ReliableConn is the client end of a reliable link. It implements Conn;
+// Send never loses a message across connection failures, and Recv never
+// yields a duplicate.
+type ReliableConn struct {
+	*endpoint
+	addr      string
+	sessionID string
+}
+
+// DialReliable connects a reliable client to a ReliableServer. The
+// initial dial honours Retry.MaxAttempts; once established, reconnects
+// retry until the conn is closed.
+func DialReliable(addr string, opts ReliableOptions) (*ReliableConn, error) {
+	opts = opts.withDefaults()
+	if opts.SessionID == "" {
+		opts.SessionID = fmt.Sprintf("session-%d", sessionCounter.Add(1))
+	}
+	c := &ReliableConn{
+		endpoint:  newEndpoint(opts),
+		addr:      addr,
+		sessionID: opts.SessionID,
+	}
+	attempts := opts.Retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultDialAttempts
+	}
+	nc, err := c.connect(attempts)
+	if err != nil {
+		c.shutdown(false)
+		return nil, err
+	}
+	go c.run(nc)
+	return c, nil
+}
+
+// connect dials and handshakes with backoff; attempts <= 0 retries until
+// the endpoint closes.
+func (c *ReliableConn) connect(attempts int) (net.Conn, error) {
+	var lastErr error
+	for i := 0; attempts <= 0 || i < attempts; i++ {
+		if c.isClosed() {
+			return nil, ErrClosed
+		}
+		if i > 0 {
+			t := time.NewTimer(c.opts.Retry.Backoff(i - 1))
+			select {
+			case <-c.closed:
+				t.Stop()
+				return nil, ErrClosed
+			case <-t.C:
+			}
+		}
+		nc, err := dialRaw(c.addr, c.opts.Net)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.handshake(nc); err != nil {
+			lastErr = err
+			_ = nc.Close()
+			continue
+		}
+		return nc, nil
+	}
+	return nil, fmt.Errorf("transport: reliable dial %s: gave up after %d attempts: %w", c.addr, attempts, lastErr)
+}
+
+// handshake runs Hello/Welcome on a fresh conn, then attaches it
+// (resending unacked frames).
+func (c *ReliableConn) handshake(nc net.Conn) error {
+	deadline := time.Now().Add(c.opts.HandshakeTimeout)
+	_ = nc.SetDeadline(deadline)
+	c.mu.Lock()
+	mine := c.recvNext
+	c.mu.Unlock()
+	hello := Frame{Type: FrameHello, Seq: mine, Payload: []byte(c.sessionID)}
+	if err := WriteFrame(nc, hello); err != nil {
+		return fmt.Errorf("transport: hello: %w", err)
+	}
+	f, err := ReadFrame(nc)
+	if err != nil {
+		return fmt.Errorf("transport: welcome: %w", err)
+	}
+	if f.Type != FrameWelcome {
+		return fmt.Errorf("transport: handshake: unexpected frame type %d", f.Type)
+	}
+	_ = nc.SetDeadline(time.Time{})
+	return c.attach(nc, f.Seq)
+}
+
+// run pumps the connection, reconnecting (with backoff, forever) on
+// failure until the conn closes cleanly.
+func (c *ReliableConn) run(nc net.Conn) {
+	for {
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+		err := c.pump(nc)
+		if err == nil {
+			// Clean Bye from the peer.
+			c.shutdown(false)
+			return
+		}
+		if c.isClosed() {
+			return
+		}
+		_ = nc.Close()
+		next, err := c.connect(0)
+		if err != nil {
+			c.shutdown(false)
+			return
+		}
+		nc = next
+	}
+}
+
+// Send queues m for exactly-once delivery to the peer.
+func (c *ReliableConn) Send(m Message) error { return c.sendData(m) }
+
+// Close announces a clean shutdown (Bye) and releases the conn.
+func (c *ReliableConn) Close() error {
+	c.shutdown(true)
+	return nil
+}
+
+// SessionID returns the session identifier used for reattachment.
+func (c *ReliableConn) SessionID() string { return c.sessionID }
+
+// ------------------------------------------------------------- server
+
+// ReliableServer owns the server half of reliable sessions. Session
+// state lives here, not in the listener: Serve can be stopped (listener
+// torn down, killing live connections) and started again on a new
+// listener, and clients reattach to their sessions with nothing lost.
+type ReliableServer struct {
+	opts ReliableOptions
+
+	mu       sync.Mutex
+	sessions map[string]*serverSession
+
+	acceptQ   chan *serverSession
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// serverSession is the server end of one reliable link.
+type serverSession struct {
+	*endpoint
+	id string
+}
+
+// Send queues m for exactly-once delivery to the session's client.
+func (s *serverSession) Send(m Message) error { return s.sendData(m) }
+
+// Close announces a clean shutdown to the client.
+func (s *serverSession) Close() error {
+	s.shutdown(true)
+	return nil
+}
+
+// NewReliableServer builds a server with no listener; call Serve.
+func NewReliableServer(opts ReliableOptions) *ReliableServer {
+	return &ReliableServer{
+		opts:     opts.withDefaults(),
+		sessions: make(map[string]*serverSession),
+		acceptQ:  make(chan *serverSession, 64),
+		closed:   make(chan struct{}),
+	}
+}
+
+// Serve accepts connections from ln until the listener closes or the
+// server shuts down. It may be called again with a fresh listener after
+// a previous one died — sessions survive the gap.
+func (s *ReliableServer) Serve(ln *Server) error {
+	for {
+		select {
+		case <-s.closed:
+			return ErrClosed
+		default:
+		}
+		nc, err := ln.acceptRaw()
+		if err != nil {
+			return err
+		}
+		go s.attachConn(nc)
+	}
+}
+
+// attachConn handshakes one inbound connection and binds it to its
+// session.
+func (s *ReliableServer) attachConn(nc net.Conn) {
+	_ = nc.SetDeadline(time.Now().Add(s.opts.HandshakeTimeout))
+	f, err := ReadFrame(nc)
+	if err != nil || f.Type != FrameHello {
+		_ = nc.Close()
+		return
+	}
+	id := string(f.Payload)
+	clientNext := f.Seq
+
+	fresh := &serverSession{endpoint: newEndpoint(s.opts), id: id}
+	s.mu.Lock()
+	var sess *serverSession
+	known := false
+	if !s.isClosed() {
+		sess, known = s.sessions[id]
+		if sess == nil {
+			sess = fresh
+			s.sessions[id] = sess
+		}
+	}
+	s.mu.Unlock()
+	if sess == nil { // server closed during the handshake
+		_ = nc.Close()
+		return
+	}
+
+	sess.mu.Lock()
+	mine := sess.recvNext
+	sess.mu.Unlock()
+	if err := WriteFrame(nc, Frame{Type: FrameWelcome, Seq: mine}); err != nil {
+		_ = nc.Close()
+		return
+	}
+	_ = nc.SetDeadline(time.Time{})
+	if err := sess.attach(nc, clientNext); err != nil {
+		_ = nc.Close()
+		return
+	}
+	if !known {
+		select {
+		case s.acceptQ <- sess:
+		case <-s.closed:
+			return
+		}
+	}
+	// Pump until this attachment dies. A clean Bye retires the session;
+	// anything else parks it for the next reattach.
+	if err := sess.pump(nc); err == nil {
+		sess.shutdown(false)
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+	}
+}
+
+func (s *ReliableServer) isClosed() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Accept blocks for the next new session (reattachments do not surface
+// here).
+func (s *ReliableServer) Accept() (Conn, error) {
+	select {
+	case sess := <-s.acceptQ:
+		return sess, nil
+	case <-s.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close shuts down the server and all sessions.
+func (s *ReliableServer) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.shutdown(true)
+		}
+		s.sessions = make(map[string]*serverSession)
+		s.mu.Unlock()
+	})
+	return nil
+}

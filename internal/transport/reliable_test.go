@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+func testRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 200,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Jitter:      0.5,
+		Rand:        rand.New(rand.NewSource(1)),
+	}
+}
+
+func TestDialTimeoutRefusesHungPeer(t *testing.T) {
+	// A listener that accepts and then never reads: without a write/read
+	// deadline the old transport blocked forever on such a peer.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			_ = c // accept and hang; never read, never close
+		}
+	}()
+
+	c, err := DialOpts(ln.Addr().String(), Options{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Fatalf("Recv on hung peer: %v, want deadline error", err)
+		}
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Errorf("Recv error %v is not a deadline error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv blocked past its read deadline: the no-deadline hang is back")
+	}
+}
+
+func TestDialRetryBacksOffAndConnects(t *testing.T) {
+	// Reserve an address, close it, and only start listening after a
+	// delay: the first dial attempts must fail and the retry loop pick
+	// the server up once it appears.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		srv, err := Listen(addr)
+		if err != nil {
+			return
+		}
+		conn, err := srv.Accept()
+		if err != nil {
+			srv.Close()
+			return
+		}
+		_ = conn.Send(Message{Stream: "hi"})
+		conn.Close()
+		srv.Close()
+	}()
+
+	c, err := DialRetry(addr, Options{}, testRetry())
+	if err != nil {
+		t.Fatalf("DialRetry never connected: %v", err)
+	}
+	defer c.Close()
+	m, err := c.Recv()
+	if err != nil || m.Stream != "hi" {
+		t.Fatalf("Recv after retry-dial: %+v, %v", m, err)
+	}
+}
+
+func TestDialRetryGivesUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	_, err = DialRetry(addr, Options{}, RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond})
+	if err == nil {
+		t.Fatal("DialRetry to a dead address returned nil")
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond,
+		Jitter: 0.5, Rand: rand.New(rand.NewSource(9))}
+	q := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond,
+		Jitter: 0.5, Rand: rand.New(rand.NewSource(9))}
+	for i := 0; i < 12; i++ {
+		a, b := p.Backoff(i), q.Backoff(i)
+		if a != b {
+			t.Fatalf("attempt %d: backoff differs across identical seeds: %v vs %v", i, a, b)
+		}
+		if a > 120*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v exceeds cap+jitter", i, a)
+		}
+	}
+	nojit := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	if d := nojit.Backoff(30); d != 80*time.Millisecond {
+		t.Errorf("uncapped attempt: %v, want MaxDelay", d)
+	}
+}
+
+// startReliable serves srv on a fresh loopback listener and returns it.
+func startReliable(t *testing.T, srv *ReliableServer, addr string) *Server {
+	t.Helper()
+	ln, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln
+}
+
+func TestReliableRoundTrip(t *testing.T) {
+	srv := NewReliableServer(ReliableOptions{})
+	defer srv.Close()
+	ln := startReliable(t, srv, "127.0.0.1:0")
+	defer ln.Close()
+
+	c, err := DialReliable(ln.Addr(), ReliableOptions{Retry: testRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sc, err := srv.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(Message{Stream: "ping", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sc.Recv()
+	if err != nil || m.Stream != "ping" {
+		t.Fatalf("server recv: %+v, %v", m, err)
+	}
+	if err := sc.Send(Message{Stream: "pong", Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = c.Recv()
+	if err != nil || m.Stream != "pong" {
+		t.Fatalf("client recv: %+v, %v", m, err)
+	}
+	// Clean close propagates as EOF.
+	c.Close()
+	if _, err := sc.Recv(); err != io.EOF {
+		t.Fatalf("server recv after client close: %v, want io.EOF", err)
+	}
+}
+
+func TestReliableSurvivesServerKillRestart(t *testing.T) {
+	// The acceptance scenario: the server's listener dies mid-stream
+	// (killing the TCP connection), the client keeps sending, the server
+	// comes back on the same address, and the full message sequence
+	// arrives exactly once, in order.
+	srv := NewReliableServer(ReliableOptions{})
+	defer srv.Close()
+	ln := startReliable(t, srv, "127.0.0.1:0")
+	addr := ln.Addr()
+
+	c, err := DialReliable(addr, ReliableOptions{Retry: testRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sc, err := srv.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 200
+	recvd := make(chan int, total)
+	go func() {
+		for {
+			m, err := sc.Recv()
+			if err != nil {
+				close(recvd)
+				return
+			}
+			if v, ok := m.Value.(int); ok {
+				recvd <- v
+			}
+		}
+	}()
+
+	for i := 0; i < total; i++ {
+		if i == 50 {
+			// Kill the server's listener; in-flight conns die with it.
+			ln.Close()
+		}
+		if i == 120 {
+			// Server restarts on the same address with its session state.
+			ln = startReliable(t, srv, addr)
+		}
+		if err := c.Send(Message{Stream: "seq", Value: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	defer ln.Close()
+
+	timeout := time.After(30 * time.Second)
+	for want := 0; want < total; want++ {
+		select {
+		case got, ok := <-recvd:
+			if !ok {
+				t.Fatalf("server stream ended at %d of %d", want, total)
+			}
+			if got != want {
+				t.Fatalf("out-of-order or duplicated delivery: got %d, want %d", got, want)
+			}
+		case <-timeout:
+			t.Fatalf("only %d of %d messages arrived; unacked frames were lost", want, total)
+		}
+	}
+}
+
+func TestReliableServerSendBuffersWhileDetached(t *testing.T) {
+	// The server direction: frames sent while the client is gone must be
+	// delivered after it reattaches.
+	srv := NewReliableServer(ReliableOptions{})
+	defer srv.Close()
+	ln := startReliable(t, srv, "127.0.0.1:0")
+	addr := ln.Addr()
+
+	c, err := DialReliable(addr, ReliableOptions{Retry: testRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sc, err := srv.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln.Close()
+	time.Sleep(20 * time.Millisecond) // let the connection die
+	for i := 0; i < 10; i++ {
+		if err := sc.Send(Message{Stream: "s", Value: i}); err != nil {
+			t.Fatalf("detached send %d: %v", i, err)
+		}
+	}
+	ln = startReliable(t, srv, addr)
+	defer ln.Close()
+
+	for want := 0; want < 10; want++ {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", want, err)
+		}
+		if m.Value.(int) != want {
+			t.Fatalf("got %v, want %d", m.Value, want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy shapes capped exponential backoff with optional jitter.
+// Delays depend only on the attempt number (and the injected Rand), so a
+// retry schedule is deterministic for a given seed — required by the
+// chaos replay story.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of tries (default
+	// DefaultDialAttempts; negative or zero means the default where a
+	// bound is required, unlimited where the caller loops itself).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 2s).
+	MaxDelay time.Duration
+	// Jitter spreads each delay uniformly over ±Jitter/2 of its value
+	// (0..1). Applied only when Rand is set, keeping the schedule
+	// seed-deterministic.
+	Jitter float64
+	// Rand supplies jitter randomness. The policy never seeds from the
+	// clock.
+	Rand *rand.Rand
+}
+
+// DefaultDialAttempts applies when RetryPolicy.MaxAttempts is zero.
+const DefaultDialAttempts = 5
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// Backoff returns the delay before retry number attempt (0-based).
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt > 20 {
+		attempt = 20 // 2^20 × base already exceeds any sane cap
+	}
+	d := p.BaseDelay << uint(attempt)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && p.Rand != nil {
+		span := float64(d) * p.Jitter
+		d = time.Duration(float64(d) - span/2 + p.Rand.Float64()*span)
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// DialRetry dials with capped exponential backoff. It gives up after
+// MaxAttempts tries (default DefaultDialAttempts) and returns the last
+// dial error.
+func DialRetry(addr string, opts Options, policy RetryPolicy) (Conn, error) {
+	attempts := policy.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultDialAttempts
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		c, err := DialOpts(addr, opts)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if i < attempts-1 {
+			time.Sleep(policy.Backoff(i))
+		}
+	}
+	return nil, fmt.Errorf("transport: dial %s: gave up after %d attempts: %w", addr, attempts, lastErr)
+}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Message is the unit carried by a Conn. It mirrors the engine's message
@@ -44,6 +45,35 @@ type Conn interface {
 
 // ErrClosed is returned by Send on a closed pipe.
 var ErrClosed = errors.New("transport: connection closed")
+
+// Options tunes network-level timeouts for TCP connections. The zero
+// value keeps reads and writes unbounded (the historical behaviour) and
+// applies DefaultDialTimeout to dials.
+type Options struct {
+	// DialTimeout bounds connection establishment (default
+	// DefaultDialTimeout; negative disables).
+	DialTimeout time.Duration
+	// ReadTimeout, when positive, bounds each Recv: a peer that accepts
+	// and then hangs surfaces as a deadline error instead of blocking
+	// forever.
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds each Send.
+	WriteTimeout time.Duration
+}
+
+// DefaultDialTimeout applies when Options.DialTimeout is zero.
+const DefaultDialTimeout = 10 * time.Second
+
+func (o Options) dialTimeout() time.Duration {
+	switch {
+	case o.DialTimeout < 0:
+		return 0
+	case o.DialTimeout == 0:
+		return DefaultDialTimeout
+	default:
+		return o.DialTimeout
+	}
+}
 
 // RegisterValue registers a payload type for gob encoding. Call once per
 // concrete type that will travel as Message.Value over a TCP connection.
@@ -122,23 +152,28 @@ type tcpConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	opts Options
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
 }
 
 // newTCPConn wraps an established network connection.
-func newTCPConn(conn net.Conn) Conn {
+func newTCPConn(conn net.Conn, opts Options) Conn {
 	return &tcpConn{
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
 		dec:  gob.NewDecoder(conn),
+		opts: opts,
 	}
 }
 
 func (c *tcpConn) Send(m Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.opts.WriteTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	}
 	if err := c.enc.Encode(&m); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
@@ -148,6 +183,9 @@ func (c *tcpConn) Send(m Message) error {
 func (c *tcpConn) Recv() (Message, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	if c.opts.ReadTimeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+	}
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
@@ -158,20 +196,30 @@ func (c *tcpConn) Recv() (Message, error) {
 	return m, nil
 }
 
+// Close must not take sendMu/recvMu: it runs concurrently with a blocked
+// Send/Recv precisely to unblock it, and net.Conn.Close is goroutine-safe.
+//
+//lint:allow lockguard net.Conn is internally synchronized; locking here would deadlock against a blocked Send/Recv
 func (c *tcpConn) Close() error { return c.conn.Close() }
 
 // Server accepts transport connections on a TCP listener.
 type Server struct {
-	ln net.Listener
+	ln   net.Listener
+	opts Options
 }
 
-// Listen starts a transport server on addr (e.g. "127.0.0.1:0").
-func Listen(addr string) (*Server, error) {
+// Listen starts a transport server on addr (e.g. "127.0.0.1:0") with
+// default options.
+func Listen(addr string) (*Server, error) { return ListenOpts(addr, Options{}) }
+
+// ListenOpts starts a transport server whose accepted connections use
+// the given timeout options.
+func ListenOpts(addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	return &Server{ln: ln}, nil
+	return &Server{ln: ln, opts: opts}, nil
 }
 
 // Addr returns the bound address (useful with port 0).
@@ -179,21 +227,44 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Accept blocks for the next inbound connection.
 func (s *Server) Accept() (Conn, error) {
+	conn, err := s.acceptRaw()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(conn, s.opts), nil
+}
+
+// acceptRaw accepts the next inbound connection without gob framing
+// (used by the reliable layer, which runs its own frame codec).
+func (s *Server) acceptRaw() (net.Conn, error) {
 	conn, err := s.ln.Accept()
 	if err != nil {
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return newTCPConn(conn), nil
+	return conn, nil
 }
 
 // Close stops the listener.
 func (s *Server) Close() error { return s.ln.Close() }
 
-// Dial connects to a transport server.
-func Dial(addr string) (Conn, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a transport server with default options.
+func Dial(addr string) (Conn, error) { return DialOpts(addr, Options{}) }
+
+// DialOpts connects to a transport server, bounding the dial by
+// Options.DialTimeout and later reads/writes by the respective timeouts.
+func DialOpts(addr string, opts Options) (Conn, error) {
+	conn, err := dialRaw(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(conn, opts), nil
+}
+
+// dialRaw establishes the network connection without gob framing.
+func dialRaw(addr string, opts Options) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial: %w", err)
 	}
-	return newTCPConn(conn), nil
+	return conn, nil
 }

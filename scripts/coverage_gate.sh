@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Coverage floor gate.
+#
+# Prints per-package statement coverage, then enforces a floor on the
+# combined coverage of the migration-protocol core (internal/biclique +
+# internal/core): it must not drop below the checked-in baseline in
+# ci/coverage_baseline.txt, which was measured on the tree *before* the
+# chaos/fault-injection work landed. Raising the baseline is encouraged;
+# lowering it needs a very good reason in the commit message.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+
+echo "== per-package coverage =="
+go test -count=1 -cover ./...
+
+echo
+echo "== biclique+core combined floor =="
+go test -count=1 -coverprofile="$profile" \
+  -coverpkg=./internal/biclique,./internal/core \
+  ./internal/biclique ./internal/core
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/,"",$3); print $3}')
+floor=$(grep -v '^#' ci/coverage_baseline.txt | head -n1)
+
+echo "combined biclique+core coverage: ${total}% (floor ${floor}%)"
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }'; then
+  echo "coverage gate FAILED: ${total}% < baseline ${floor}%" >&2
+  exit 1
+fi
+echo "coverage gate OK"
