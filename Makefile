@@ -9,7 +9,7 @@ RACE_FAST_PKGS = ./internal/engine ./internal/biclique ./internal/transport
 CHAOS_RUNS ?= 50
 FUZZTIME   ?= 20s
 
-.PHONY: build test lint vet race race-fast bench chaos fuzz-short cover ci
+.PHONY: build test lint vet race race-fast bench bench-smoke chaos fuzz-short cover ci
 
 build:
 	$(GO) build $(PKGS)
@@ -36,6 +36,14 @@ race-fast:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(PKGS)
+
+## bench-smoke: short fixed-seed batching A/B (the BENCH_3 experiment at
+## -quick scale) plus the data-plane allocation benchmarks. Writes
+## bench-smoke.json, which CI archives as an artifact; a regression in
+## the batched path shows up as the speedup column sliding toward 1.0.
+bench-smoke:
+	$(GO) run ./cmd/fastjoin-bench -figure batch -quick -json bench-smoke.json
+	$(GO) test -run='^$$' -bench 'BenchmarkDataPlane' -benchtime=3x ./internal/biclique
 
 ## chaos: the seeded fault-injection sweep under the race detector. Every
 ## run must produce the exact brute-force join result or a cleanly

@@ -34,6 +34,10 @@ func main() {
 		theta    = flag.Float64("theta", 0, "load imbalance threshold Θ (default 2.2)")
 		seed     = flag.Int64("seed", 0, "workload/placement seed (default 7)")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonOut  = flag.String("json", "", "write all reports plus resolved params as one JSON document")
+
+		batchSize   = flag.Int("batch", 0, "dispatcher batch size for every run (0 = default 32, 1 = unbatched)")
+		batchLinger = flag.Duration("batch.linger", 0, "partial-batch flush deadline (0 = default 2ms)")
 
 		chaosProfile = flag.String("chaos", "", "fault drill: chaos profile (none, droponly, delayonly, duponly, mixed, abortstorm)")
 		chaosSeed    = flag.Int64("chaos.seed", 1, "chaos injector seed (a drill replays exactly per seed)")
@@ -58,6 +62,8 @@ func main() {
 		Keys:        *keys,
 		Theta:       *theta,
 		Seed:        *seed,
+		BatchSize:   *batchSize,
+		BatchLinger: *batchLinger,
 		Quick:       *quick,
 
 		ChaosProfile: *chaosProfile,
@@ -80,6 +86,7 @@ func main() {
 	}
 
 	start := time.Now()
+	var allReports []*bench.Report
 	for _, e := range experiments {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		expStart := time.Now()
@@ -88,6 +95,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		allReports = append(allReports, reports...)
 		for i, rep := range reports {
 			if err := rep.Render(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "render: %v\n", err)
@@ -101,6 +109,21 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s finished in %s)\n\n", e.ID, time.Since(expStart).Round(time.Millisecond))
+	}
+	if *jsonOut != "" {
+		doc := bench.Doc{Figure: *figure, Params: p.Resolved(), Reports: allReports}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := doc.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 	fmt.Printf("all done in %s\n", time.Since(start).Round(time.Millisecond))
 }

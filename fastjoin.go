@@ -64,6 +64,10 @@ const (
 	S = stream.S
 )
 
+// DefaultBatchSize is the dispatcher batch capacity used when
+// Options.BatchSize is left 0 (see Options.BatchSize).
+const DefaultBatchSize = biclique.DefaultBatchSize
+
 // Kind selects which of the paper's systems to run.
 type Kind uint8
 
@@ -149,6 +153,15 @@ type Options struct {
 	Sources []TupleSource
 	// QueueSize bounds each task's input queue (backpressure; default 1024).
 	QueueSize int
+	// BatchSize is the dispatcher's per-(stream, target) batch capacity:
+	// up to BatchSize routed tuples travel as one message through the data
+	// plane. 0 means the default (biclique.DefaultBatchSize, currently 32);
+	// 1 disables batching (one message per tuple copy, the A/B baseline).
+	BatchSize int
+	// BatchLinger bounds how long a partially filled batch may wait in a
+	// busy dispatcher before a tick flushes it (default 2ms; only
+	// meaningful when batching is enabled).
+	BatchLinger time.Duration
 	// ServiceRate, when positive, emulates per-node compute capacity:
 	// each join instance is limited to ServiceRate virtual ops/second
 	// (1 op per store, 1 + MatchCost per scanned tuple per probe). The
@@ -202,6 +215,8 @@ func New(opts Options) (*System, error) {
 		Engine:         engine.Config{QueueSize: opts.QueueSize},
 		ServiceRate:    opts.ServiceRate,
 		MatchCost:      opts.MatchCost,
+		BatchSize:      opts.BatchSize,
+		BatchLinger:    opts.BatchLinger,
 	}
 	if cfg.JoinersPerSide == 0 {
 		cfg.JoinersPerSide = 4
@@ -339,6 +354,10 @@ type Stats struct {
 	// MigrationAborts counts migrations that timed out their marker
 	// handshake and rolled back (non-zero only under faults).
 	MigrationAborts int64 `json:"migration_aborts,omitempty"`
+	// ReplayedTuples counts tuples re-processed from migration buffers;
+	// they are excluded from the latency percentiles above (their send
+	// stamps are stale by the migration handshake's wall-time).
+	ReplayedTuples int64 `json:"replayed_tuples,omitempty"`
 }
 
 // String renders a one-line summary.
@@ -369,5 +388,6 @@ func (s *System) Stats() Stats {
 		MigratedKeys:    m.MigratedKeys.Value(),
 		MigratedTuples:  m.MigratedTuples.Value(),
 		MigrationAborts: m.MigrationAborts.Value(),
+		ReplayedTuples:  m.ReplayedTuples.Count(),
 	}
 }

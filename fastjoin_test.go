@@ -373,13 +373,17 @@ func TestChaosProfileOption(t *testing.T) {
 		t.Fatal("unknown chaos profile did not error")
 	}
 
-	// Under the mixed fault profile the join must still be exact.
-	const want = 40 * 25 * 25
+	// Under the mixed fault profile the join must still be exact. The
+	// workload must outlast several stats intervals: the profile can only
+	// attack control traffic (reports, commands, markers), which exists
+	// only while the system is still running — the batched data plane
+	// finishes small workloads before the first report otherwise.
+	const want = 40 * 250 * 250
 	sys, err := New(Options{
 		Kind:          KindFastJoin,
 		Joiners:       3,
-		Sources:       []TupleSource{finiteSource(2000, 40)},
-		StatsInterval: 20 * time.Millisecond,
+		Sources:       []TupleSource{finiteSource(20000, 40)},
+		StatsInterval: 10 * time.Millisecond,
 		Theta:         1.2,
 		Cooldown:      30 * time.Millisecond,
 		AbortTimeout:  150 * time.Millisecond,

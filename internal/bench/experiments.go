@@ -46,6 +46,7 @@ func All() []*Experiment {
 		expFig9_10(),
 		expFig12_13(),
 		expFig14(),
+		expBatch(),
 		Ablation(),
 	}
 }
@@ -436,6 +437,142 @@ func expFig14() *Experiment {
 				rep.AddRow(kind.String(), res.LatencyMeanUs, res.LatencyP99Us, res.Throughput, float64(res.Migrations))
 			}
 			rep.AddNote("paper finding: the two selectors perform nearly the same")
+			return []*Report{rep}, nil
+		},
+	}
+}
+
+// ---------------------------------------------------------------- batch
+
+// expBatch is the batched-data-plane A/B (archived as BENCH_3.json): the
+// identical skewed zipf workload at fixed seed runs with batching off
+// (BatchSize 1, the legacy one-message-per-tuple path) and on (the
+// default batch size), and the report compares sustained throughput.
+//
+// Methodology notes:
+//   - ServiceRate is forced to 0. The emulated per-node capacity works by
+//     sleeping, which caps every configuration at the same virtual rate
+//     and would mask exactly the per-message overhead this experiment
+//     measures. The A/B must be CPU/channel bound.
+//   - A short join window bounds per-probe scan work so the data plane
+//     (boxing + channel send per emit) stays the dominant term, as it is
+//     at cluster scale where windows are always bounded.
+func expBatch() *Experiment {
+	return &Experiment{
+		ID:      "batch",
+		Aliases: []string{"bench3"},
+		Title:   "Batched data plane A/B: throughput with batching off vs on (BENCH_3)",
+		Run: func(p Params) ([]*Report, error) {
+			p = p.withDefaults()
+			// Skew group G10: zipf θ=1 on R (hot routing lanes, hot
+			// stores), uniform S. With a full-history store the join
+			// cardinality is Σ_k |R_k|·|S_k| — a function of the tuple
+			// multiset only, so every run produces the IDENTICAL result
+			// count no matter how arrival interleaves, and the throughput
+			// ratio compares equal work. (A time window would make match
+			// volume depend on source interleaving and drown the A/B in
+			// run-to-run noise; uniform S keeps the hot key's scan cost
+			// linear instead of quadratic.)
+			const zipfThetaR = 1.0
+			// Pre-generate the workload: live zipf sampling is slower than
+			// the data plane under test and would bound ingestion, hiding
+			// the A/B difference. Every run replays the identical tuple
+			// slices at memory speed.
+			gen := fastjoin.NewZipfWorkload(fastjoin.ZipfOptions{
+				Keys:     p.Keys,
+				ThetaR:   zipfThetaR,
+				ThetaS:   0,
+				Tuples:   p.TupleBudget,
+				Parallel: 3,
+				Seed:     p.Seed,
+			})
+			pre := make([][]fastjoin.Tuple, len(gen.Sources))
+			for i, src := range gen.Sources {
+				for {
+					t, ok := src()
+					if !ok {
+						break
+					}
+					pre[i] = append(pre[i], t)
+				}
+			}
+			mkSources := func() []fastjoin.TupleSource {
+				out := make([]fastjoin.TupleSource, len(pre))
+				for i := range pre {
+					ts := pre[i]
+					idx := 0
+					out[i] = func() (fastjoin.Tuple, bool) {
+						if idx >= len(ts) {
+							return fastjoin.Tuple{}, false
+						}
+						t := ts[idx]
+						idx++
+						return t, true
+					}
+				}
+				return out
+			}
+			// Best-of-reps: the runs are sub-second, so scheduler noise
+			// swings a single measurement by ±20%; the fastest of a few
+			// repetitions is the standard throughput estimate.
+			reps := 3
+			if p.Quick {
+				reps = 1
+			}
+			run := func(kind fastjoin.Kind, batchSize int) (BatchResult, error) {
+				var best BatchResult
+				for r := 0; r < reps; r++ {
+					opts := sysOptions(kind, p, p.Joiners, mkSources())
+					opts.ServiceRate = 0 // full-history, CPU/channel bound
+					opts.BatchSize = batchSize
+					res, err := runBatch(kind, opts)
+					if err != nil {
+						return BatchResult{}, err
+					}
+					if r == 0 || res.Elapsed < best.Elapsed {
+						best = res
+					}
+					if res.Results != best.Results {
+						return BatchResult{}, fmt.Errorf("batch %s rep %d: result count %d != %d; workload not deterministic",
+							kind, r, res.Results, best.Results)
+					}
+				}
+				return best, nil
+			}
+			rep := &Report{
+				ID:     "batch",
+				Title:  fmt.Sprintf("Batching off (BatchSize=1) vs on (BatchSize=%d): zipf G10 (θR=%.1f, uniform S), %d joiners/side, seed %d", fastjoin.DefaultBatchSize, zipfThetaR, p.Joiners, p.Seed),
+				XLabel: "system",
+				Columns: []string{
+					"unbatched(results/s)", "batched(results/s)", "speedup",
+					"unbatched_lat_us", "batched_lat_us",
+				},
+			}
+			for _, kind := range []fastjoin.Kind{fastjoin.KindBiStream, fastjoin.KindFastJoin} {
+				off, err := run(kind, 1)
+				if err != nil {
+					return nil, fmt.Errorf("batch %s off: %w", kind, err)
+				}
+				on, err := run(kind, 0) // 0 = default batch size
+				if err != nil {
+					return nil, fmt.Errorf("batch %s on: %w", kind, err)
+				}
+				speedup := 0.0
+				if off.Throughput > 0 {
+					speedup = on.Throughput / off.Throughput
+				}
+				rep.AddRow(kind.String(),
+					off.Throughput, on.Throughput, speedup,
+					off.LatencyMeanUs, on.LatencyMeanUs)
+				rep.AddNote("%s: %d results, unbatched %s vs batched %s elapsed (speedup %.2fx)",
+					kind, on.Results, off.Elapsed.Round(time.Millisecond),
+					on.Elapsed.Round(time.Millisecond), speedup)
+				if off.Results != on.Results {
+					return nil, fmt.Errorf("batch %s: result counts diverge (off %d, on %d); exactly-once broken or workload not deterministic",
+						kind, off.Results, on.Results)
+				}
+			}
+			rep.AddNote("ServiceRate forced to 0 (capacity emulation sleeps would mask the per-message overhead under test)")
 			return []*Report{rep}, nil
 		},
 	}

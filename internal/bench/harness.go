@@ -29,6 +29,13 @@ type Params struct {
 	ServiceRate float64
 	// Seed derandomizes workloads and placement.
 	Seed int64
+	// BatchSize overrides the dispatcher's data-plane batch capacity for
+	// every run (0 = system default, 1 = unbatched legacy path). The
+	// batch A/B experiment ignores it and sweeps both settings.
+	BatchSize int
+	// BatchLinger overrides how long a partially filled batch may wait
+	// before a tick flushes it (0 = system default).
+	BatchLinger time.Duration
 	// Quick shrinks sweeps and durations for smoke tests.
 	Quick bool
 	// ChaosProfile, when non-empty, runs every system under the named
@@ -78,6 +85,9 @@ func (p Params) withDefaults() Params {
 	if p.Seed == 0 {
 		p.Seed = d.Seed
 	}
+	if p.BatchSize < 0 {
+		p.BatchSize = 1 // any negative spelling means "unbatched"
+	}
 	if p.Quick {
 		p.Duration = min(p.Duration, 1200*time.Millisecond)
 		p.SampleEvery = min(p.SampleEvery, 200*time.Millisecond)
@@ -115,11 +125,17 @@ func sysOptions(kind fastjoin.Kind, p Params, joiners int, sources []fastjoin.Tu
 		StatsInterval: 50 * time.Millisecond,
 		ServiceRate:   p.ServiceRate,
 		Seed:          uint64(p.Seed),
+		BatchSize:     p.BatchSize,
+		BatchLinger:   p.BatchLinger,
 		ChaosProfile:  p.ChaosProfile,
 		ChaosSeed:     p.ChaosSeed,
 		AbortTimeout:  abortTimeoutFor(p),
 	}
 }
+
+// Resolved returns the parameters with every default filled in, exactly
+// as the experiments see them — what a JSON archive should record.
+func (p Params) Resolved() Params { return p.withDefaults() }
 
 // abortTimeoutFor enables migration abort-and-rollback whenever a bench
 // run injects faults: with markers being dropped, a handshake can stall

@@ -1,0 +1,17 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestProfileBatch(t *testing.T) {
+	if os.Getenv("PROFILE_BATCH") == "" {
+		t.Skip("profiling helper; set PROFILE_BATCH=1")
+	}
+	reps, err := Find("batch").Run(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = reps
+}

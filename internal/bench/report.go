@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -14,24 +15,42 @@ import (
 // column per series (typically one per compared system).
 type Report struct {
 	// ID is the experiment that produced the report (e.g. "fig3").
-	ID string
+	ID string `json:"id"`
 	// Title describes the report, referencing the paper figure.
-	Title string
+	Title string `json:"title"`
 	// XLabel names the first column (time, #instances, Θ, ...).
-	XLabel string
+	XLabel string `json:"x_label"`
 	// Columns names the value series.
-	Columns []string
+	Columns []string `json:"columns"`
 	// Rows holds the data.
-	Rows []Row
+	Rows []Row `json:"rows"`
 	// Notes carries free-form observations (calibration values, shape
 	// checks) appended below the table.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Row is one line of a report.
 type Row struct {
-	X     string
-	Cells []float64
+	X     string    `json:"x"`
+	Cells []float64 `json:"cells"`
+}
+
+// Doc bundles the reports of a run with the parameters that produced
+// them, for machine-readable archival (BENCH_*.json, CI artifacts).
+type Doc struct {
+	// Figure is the figure selector the run was invoked with.
+	Figure string `json:"figure"`
+	// Params are the resolved run parameters.
+	Params Params `json:"params"`
+	// Reports are every table the run produced, in order.
+	Reports []*Report `json:"reports"`
+}
+
+// WriteJSON writes the document as indented JSON.
+func (d Doc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
 }
 
 // AddRow appends a data row.

@@ -244,6 +244,8 @@ func TestChaosClassify(t *testing.T) {
 		want  chaos.Class
 	}{
 		{TupleMsg{}, chaos.ClassData},
+		{TupleBatch{}, chaos.ClassData},
+		{ShuffleBatch{}, chaos.ClassData},
 		{Marker{}, chaos.ClassMarker},
 		{Marker{Revert: true}, chaos.ClassMarkerRevert},
 		{RouteUpdate{}, chaos.ClassRouteUpdate},

@@ -22,7 +22,10 @@ import (
 //     suite verifies.
 func ChaosClassify(value any) chaos.Class {
 	switch v := value.(type) {
-	case TupleMsg:
+	case TupleMsg, TupleBatch, ShuffleBatch:
+		// A batch is data-lane traffic exactly like the tuples it carries:
+		// dropping one would lose a whole lane segment, so profiles must
+		// keep it as clean as a single TupleMsg.
 		return chaos.ClassData
 	case Marker:
 		if v.Revert {

@@ -73,6 +73,12 @@ type MigrationConfig struct {
 	AbortTimeout time.Duration
 }
 
+// DefaultBatchSize is the dispatcher batch capacity used when
+// Config.BatchSize is zero. Batching is on by default so every test and
+// chaos run exercises the batched data plane; set BatchSize to 1 for the
+// legacy unbatched path.
+const DefaultBatchSize = 32
+
 // Config parameterizes a biclique join system.
 type Config struct {
 	// JoinersPerSide is the number of join instances in each group
@@ -94,6 +100,18 @@ type Config struct {
 	// StatsInterval is how often join instances report load and monitors
 	// evaluate (default 100ms).
 	StatsInterval time.Duration
+	// BatchSize is the dispatcher's per-(side, target) batch capacity: up
+	// to BatchSize routed tuples travel as one TupleBatch message (one
+	// channel send, one boxed value for the whole group). 0 means the
+	// default (DefaultBatchSize); 1 disables batching and restores the
+	// one-message-per-tuple data plane (the A/B baseline).
+	BatchSize int
+	// BatchLinger bounds how long a partially filled batch may sit in the
+	// dispatcher under light load before a tick flushes it (default 2ms;
+	// only meaningful when BatchSize > 1). Idle dispatchers flush eagerly
+	// regardless — the linger only matters while the task stays busy with
+	// other lanes' traffic.
+	BatchLinger time.Duration
 	// Window is the join window span; zero means full-history join.
 	Window time.Duration
 	// SubWindows is the number of sub-windows when Window > 0 (default 8).
@@ -181,6 +199,15 @@ func (c *Config) Validate() error {
 	}
 	if c.StatsInterval <= 0 {
 		c.StatsInterval = 100 * time.Millisecond
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("biclique: negative BatchSize")
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.BatchLinger <= 0 {
+		c.BatchLinger = 2 * time.Millisecond
 	}
 	if c.Window > 0 && c.SubWindows <= 0 {
 		c.SubWindows = 8

@@ -9,19 +9,39 @@ import (
 // shufflerBolt is the pre-processing unit of the dispatching component
 // (§III-A): it stamps event time on tuples that lack one, applies the
 // user-defined pre-processing function if configured, and forwards the
-// tuples to the dispatcher.
+// tuples to the dispatcher task owning the tuple's key. The key→task
+// mapping lives here (not in an engine grouping) so that with batching
+// enabled the bolt can accumulate a per-dispatcher lane and ship it as
+// one ShuffleBatch; either way all traffic of one key flows through a
+// single dispatcher task in arrival order.
 type shufflerBolt struct {
-	pre func(stream.Tuple) stream.Tuple
+	pre   func(stream.Tuple) stream.Tuple
+	batch int
+	nDisp int
+	lanes []shuffleLane
+}
+
+// shuffleLane is one open shuffler→dispatcher batch; like batchLane the
+// slice is handed off on emit and never reused.
+type shuffleLane struct {
+	tuples []stream.Tuple
 }
 
 func newShufflerFactory(cfg *Config) engine.BoltFactory {
-	return func(int) engine.Bolt { return &shufflerBolt{pre: cfg.PreProcess} }
+	return func(int) engine.Bolt {
+		return &shufflerBolt{pre: cfg.PreProcess, batch: cfg.BatchSize, nDisp: cfg.Dispatchers}
+	}
 }
 
-func (b *shufflerBolt) Prepare(engine.Context, *engine.Collector) {}
+func (b *shufflerBolt) Prepare(engine.Context, *engine.Collector) {
+	if b.batch > 1 {
+		b.lanes = make([]shuffleLane, b.nDisp)
+	}
+}
 
 func (b *shufflerBolt) Execute(m engine.Message, out *engine.Collector) {
 	if m.Stream == engine.TickStream {
+		b.flushAll(out) // linger expired
 		return
 	}
 	t, ok := m.Value.(stream.Tuple)
@@ -34,8 +54,39 @@ func (b *shufflerBolt) Execute(m engine.Message, out *engine.Collector) {
 	if t.EventTime == 0 {
 		t.EventTime = stream.Now()
 	}
-	out.Emit(streamTuples, t)
+	target := int(uint64(t.Key) % uint64(b.nDisp))
+	if b.batch <= 1 {
+		out.EmitDirect(streamTuples, target, t)
+		return
+	}
+	ln := &b.lanes[target]
+	if ln.tuples == nil {
+		ln.tuples = make([]stream.Tuple, 0, b.batch)
+	}
+	ln.tuples = append(ln.tuples, t)
+	if len(ln.tuples) >= b.batch {
+		b.flushShuffleLane(target, out)
+	}
 }
+
+func (b *shufflerBolt) flushShuffleLane(target int, out *engine.Collector) {
+	ln := &b.lanes[target]
+	if len(ln.tuples) == 0 {
+		return
+	}
+	out.EmitDirect(streamTuples, target, ShuffleBatch{Tuples: ln.tuples})
+	ln.tuples = nil // ownership handed off; no recycling
+}
+
+func (b *shufflerBolt) flushAll(out *engine.Collector) {
+	for target := range b.lanes {
+		b.flushShuffleLane(target, out)
+	}
+}
+
+// Flush implements engine.Flusher (see the invariant note there): no
+// shuffle batch is left open while the system quiesces.
+func (b *shufflerBolt) Flush(out *engine.Collector) { b.flushAll(out) }
 
 func (b *shufflerBolt) Cleanup() {}
 
@@ -43,6 +94,15 @@ func (b *shufflerBolt) Cleanup() {}
 // instance in the tuple's own side group and probe copies to the opposite
 // group per the strategy. It maintains the routing table that FastJoin's
 // migrations rewrite, acking every update back with a marker.
+//
+// With Config.BatchSize > 1 the bolt runs the batched data plane: routed
+// tuples accumulate per (side, target) lane and travel as one TupleBatch
+// message once the lane fills, a linger tick fires, or the engine's idle
+// flush runs (the task's data queue drained). Lane order is preserved —
+// a batch is one channel send carrying the lane's tuples in routing
+// order — and every open batch is flushed before a Marker is emitted, so
+// the migration fencing argument ("the marker rides behind every tuple
+// this task routed there before the update") survives batching intact.
 type dispatcherBolt struct {
 	cfg    *Config
 	router routing.Router
@@ -56,6 +116,17 @@ type dispatcherBolt struct {
 	// re-applied (idempotent) and re-acked, which is what recovers
 	// dropped markers.
 	applied map[updateKey]uint64
+	// batch is the effective lane capacity (<= 1 means unbatched); lanes
+	// holds the open batch of each (side, joiner-task) pair.
+	batch int
+	lanes [2][]batchLane
+}
+
+// batchLane is one open (side, target) batch. The slice is handed to the
+// consumer inside the emitted TupleBatch and never reused afterwards, so
+// duplicated deliveries (fault injection) stay safe.
+type batchLane struct {
+	msgs []TupleMsg
 }
 
 // updateKey identifies the update stream of one migration source.
@@ -80,12 +151,23 @@ func newDispatcherBolt(cfg *Config) engine.BoltFactory {
 	}
 }
 
-func (b *dispatcherBolt) Prepare(ctx engine.Context, _ *engine.Collector) { b.ctx = ctx }
+func (b *dispatcherBolt) Prepare(ctx engine.Context, _ *engine.Collector) {
+	b.ctx = ctx
+	b.batch = b.cfg.BatchSize
+	if b.batch > 1 {
+		b.lanes[stream.R] = make([]batchLane, b.cfg.JoinersPerSide)
+		b.lanes[stream.S] = make([]batchLane, b.cfg.JoinersPerSide)
+	}
+}
 
 func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 	switch v := m.Value.(type) {
 	case stream.Tuple:
 		b.routeTuple(v, out)
+	case ShuffleBatch:
+		for i := range v.Tuples {
+			b.routeTuple(v.Tuples[i], out)
+		}
 	case RouteUpdate:
 		if b.applied == nil {
 			b.applied = make(map[updateKey]uint64)
@@ -96,6 +178,10 @@ func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 			return // stale: a newer update from this source already applied
 		}
 		b.applied[k] = ord
+		// Flush every open batch before the marker: the fencing proof needs
+		// the marker to ride behind every tuple this task routed before the
+		// update, including tuples still sitting in a lane's open batch.
+		b.flushAll(out)
 		b.router.ApplyUpdate(v.Side, v.Keys, v.NewOwner)
 		// The marker rides the data lane to the instance waiting on the
 		// handshake (source for forward updates, target for reverts),
@@ -116,6 +202,11 @@ func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 			// whose loss triggered the abort.
 			out.EmitDirect(tupleStream(v.Side), v.Source, m)
 		}
+	default:
+		if m.Stream == engine.TickStream {
+			// Linger expired: ship whatever the lanes hold.
+			b.flushAll(out)
+		}
 	}
 }
 
@@ -127,14 +218,58 @@ func (b *dispatcherBolt) routeTuple(t stream.Tuple, out *engine.Collector) {
 
 	// Store in the tuple's own group.
 	storeAt := b.router.StoreTarget(ownSide, t.Key)
-	out.EmitDirect(tupleStream(ownSide), storeAt, TupleMsg{T: t, Op: OpStore, SentAt: now, Seq: b.seq})
+	b.emitTuple(ownSide, storeAt, TupleMsg{T: t, Op: OpStore, SentAt: now, Seq: b.seq}, out)
 
 	// Probe the opposite group: the tuple joins against the other stream's
 	// stored tuples, then is discarded there.
 	b.buf = b.router.ProbeTargets(oppSide, t.Key, b.buf[:0])
 	for _, target := range b.buf {
-		out.EmitDirect(tupleStream(oppSide), target, TupleMsg{T: t, Op: OpProbe, SentAt: now, Seq: b.seq})
+		b.emitTuple(oppSide, target, TupleMsg{T: t, Op: OpProbe, SentAt: now, Seq: b.seq}, out)
 	}
 }
+
+// emitTuple delivers one routed tuple to its lane: directly when batching
+// is off, otherwise into the lane's open batch, flushing at capacity.
+func (b *dispatcherBolt) emitTuple(side stream.Side, target int, tm TupleMsg, out *engine.Collector) {
+	if b.batch <= 1 {
+		out.EmitDirect(tupleStream(side), target, tm)
+		return
+	}
+	ln := &b.lanes[side][target]
+	if ln.msgs == nil {
+		ln.msgs = make([]TupleMsg, 0, b.batch)
+	}
+	ln.msgs = append(ln.msgs, tm)
+	if len(ln.msgs) >= b.batch {
+		b.flushLane(side, target, out)
+	}
+}
+
+// flushLane emits one lane's open batch as a single TupleBatch message.
+func (b *dispatcherBolt) flushLane(side stream.Side, target int, out *engine.Collector) {
+	ln := &b.lanes[side][target]
+	if len(ln.msgs) == 0 {
+		return
+	}
+	out.EmitDirect(tupleStream(side), target, TupleBatch{Msgs: ln.msgs})
+	// Ownership of the slice passed to the consumer; the next append
+	// starts a fresh one (no recycling — a duplicated delivery must not
+	// observe a reused backing array).
+	ln.msgs = nil
+}
+
+// flushAll drains every open lane batch.
+func (b *dispatcherBolt) flushAll(out *engine.Collector) {
+	for side := range b.lanes {
+		for target := range b.lanes[side] {
+			b.flushLane(stream.Side(side), target, out)
+		}
+	}
+}
+
+// Flush implements engine.Flusher: the engine calls it whenever this
+// task's data queue drains, so a batch is never left open while the
+// system quiesces (see the invariant note on engine.Flusher).
+func (b *dispatcherBolt) Flush(out *engine.Collector) { b.flushAll(out) }
 
 func (b *dispatcherBolt) Cleanup() {}

@@ -123,6 +123,16 @@ func (b *joinerBolt) Prepare(ctx engine.Context, _ *engine.Collector) {
 // relative to a store's cost of 1.
 const probeBaseCost = 0.2
 
+// burstWindow caps the service credit an idle instance can bank: after a
+// quiet spell the deficit between virtual and wall-clock time is clamped
+// to one burst window, so a burst gets at most burstWindow's worth of
+// ops at host speed before the ServiceRate throttle engages again.
+// Without the clamp the deficit grows without bound across idle periods
+// (ops only ever grows, ahead goes arbitrarily negative) and a
+// post-idle burst is never throttled — under-modeling exactly the
+// overload the balancer is supposed to detect.
+const burstWindow = 20 * time.Millisecond
+
 // consume charges virtual ops against the instance's service budget and
 // sleeps off any surplus beyond a small burst allowance. Sleeping inside
 // Execute is what creates the queue growth and backpressure an overloaded
@@ -135,6 +145,15 @@ func (b *joinerBolt) consume(cost float64) {
 	b.ops += cost
 	virtual := time.Duration(b.ops / rate * float64(time.Second))
 	ahead := virtual - time.Since(b.opsSince)
+	if ahead < -burstWindow {
+		// Idle re-base: forget the banked credit beyond one burst window,
+		// keeping only the current op's charge (this also resets the float
+		// accumulation in ops before long runs cost it precision).
+		b.ops = cost
+		b.opsSince = time.Now().Add(-burstWindow)
+		virtual = time.Duration(b.ops / rate * float64(time.Second))
+		ahead = virtual - burstWindow
+	}
 	if ahead > 2*time.Millisecond {
 		time.Sleep(ahead)
 	}
@@ -144,6 +163,8 @@ func (b *joinerBolt) Execute(m engine.Message, out *engine.Collector) {
 	switch v := m.Value.(type) {
 	case TupleMsg:
 		b.handleTuple(v, out)
+	case TupleBatch:
+		b.handleBatch(v, out)
 	case Marker:
 		b.handleMarker(v, out)
 	case MigrateCmd:
@@ -163,6 +184,31 @@ func (b *joinerBolt) Execute(m engine.Message, out *engine.Collector) {
 	}
 }
 
+// handleBatch unpacks a TupleBatch inline through the same per-tuple
+// path: a batch is a granularity change on the wire, not a semantic one,
+// so all the migration buffering logic in handleTuple applies unchanged.
+// Each tuple runs under its own panic guard — the engine isolates panics
+// per delivered message, which for a batch would widen a poisoned
+// tuple's blast radius from one tuple to BatchSize. The first panic is
+// re-raised after the loop so the engine's per-task panic accounting
+// still records the failure.
+func (b *joinerBolt) handleBatch(batch TupleBatch, out *engine.Collector) {
+	var firstPanic any
+	for i := range batch.Msgs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil && firstPanic == nil {
+					firstPanic = r
+				}
+			}()
+			b.handleTuple(batch.Msgs[i], out)
+		}()
+	}
+	if firstPanic != nil {
+		panic(firstPanic) //lint:allow panicpath re-raise of an isolated per-tuple panic, preserving the engine's per-task panic accounting
+	}
+}
+
 // replay re-processes one buffered tuple after a migration flush or
 // rollback, isolating panics per tuple: the engine isolates panics per
 // delivered message, but a replay processes a whole buffer inside one
@@ -174,6 +220,13 @@ func (b *joinerBolt) replay(tm TupleMsg, out *engine.Collector) {
 			b.met.ReplayPanics.Inc()
 		}
 	}()
+	// A replayed tuple's SentAt is stale by the whole migration handshake;
+	// mark it so probe() keeps it out of the latency histogram, and meter
+	// it here so every replay (stores included) is accounted. The mark
+	// sticks through re-buffering (a replay can land in another
+	// migration's buffer and be replayed again).
+	tm.Replayed = true
+	b.met.ReplayedTuples.Mark(1)
 	b.handleTuple(tm, out)
 }
 
@@ -214,9 +267,13 @@ func (b *joinerBolt) probe(tm TupleMsg, out *engine.Collector) {
 	pred := b.cfg.Predicate
 	matches := int64(0)
 	scanned := 0
+	// One clock read per probe, not per matched pair: on a hot key a
+	// single probe can yield thousands of pairs and the vDSO call would
+	// dominate the whole scan (it showed up at ~47% of CPU).
+	now := stream.Now()
 	b.store.ForEachMatch(key, func(stored stream.Tuple) {
 		scanned++
-		pair := b.makePair(stored, tm.T)
+		pair := b.makePair(stored, tm.T, now)
 		if pred != nil && !pred(pair.R, pair.S) {
 			return
 		}
@@ -231,15 +288,23 @@ func (b *joinerBolt) probe(tm TupleMsg, out *engine.Collector) {
 	// A probe that finds an empty bucket is just a hash lookup — far
 	// cheaper than a store's insert — so its base cost is fractional.
 	b.consume(probeBaseCost + b.cfg.MatchCost*float64(scanned))
+	if tm.Replayed {
+		// Migration replays carry SentAt stamps that are stale by the whole
+		// handshake; observing them would spike the tail of the latency
+		// histogram by the migration's own wall-time. They are metered in
+		// replay() instead.
+		return
+	}
 	b.met.Latency.Observe(stream.Now() - tm.SentAt)
 }
 
-// makePair orients (stored, probing) into (R, S).
-func (b *joinerBolt) makePair(stored, probing stream.Tuple) stream.JoinedPair {
+// makePair orients (stored, probing) into (R, S); joinedAt is the
+// probe's clock read (one per probe, shared by every pair it yields).
+func (b *joinerBolt) makePair(stored, probing stream.Tuple, joinedAt int64) stream.JoinedPair {
 	p := stream.JoinedPair{
 		StoreSide: b.side,
 		Instance:  b.ctx.Task,
-		JoinedAt:  stream.Now(),
+		JoinedAt:  joinedAt,
 	}
 	if b.side == stream.R {
 		p.R, p.S = stored, probing

@@ -131,15 +131,72 @@ func TestMakePairOrientation(t *testing.T) {
 	r.side = stream.R
 	stored := stream.Tuple{Side: stream.R, Key: 1, Seq: 10}
 	probing := stream.Tuple{Side: stream.S, Key: 1, Seq: 20}
-	p := r.makePair(stored, probing)
+	p := r.makePair(stored, probing, stream.Now())
 	if p.R.Seq != 10 || p.S.Seq != 20 {
 		t.Errorf("R-side pair = %+v", p)
 	}
 
 	s := newTestJoiner(t, Config{})
 	s.side = stream.S
-	p = s.makePair(probing, stored) // stored is now the S tuple
+	p = s.makePair(probing, stored, stream.Now()) // stored is now the S tuple
 	if p.R.Seq != 10 || p.S.Seq != 20 {
 		t.Errorf("S-side pair = %+v", p)
+	}
+}
+
+// Regression: probe() used to observe stream.Now() - SentAt for every
+// probe, so tuples replayed from a migration flush carried stamps stale
+// by the whole handshake and every migration spiked the latency tail by
+// its own wall-time. Replays must be metered separately instead.
+func TestReplayedTuplesSkipLatencyHistogram(t *testing.T) {
+	b := newTestJoiner(t, Config{})
+	b.handleTuple(TupleMsg{T: stream.Tuple{Side: stream.R, Key: 5, Seq: 1}, Op: OpStore, SentAt: stream.Now(), Seq: 1}, nil)
+
+	// A fresh probe lands in the histogram.
+	b.handleTuple(TupleMsg{T: stream.Tuple{Side: stream.S, Key: 5, Seq: 1}, Op: OpProbe, SentAt: stream.Now(), Seq: 2}, nil)
+	if got := b.met.Latency.Count(); got != 1 {
+		t.Fatalf("fresh probe: latency samples = %d, want 1", got)
+	}
+
+	// A migration flush replays a probe whose SentAt is 10s stale — the
+	// real replay path: install an inbound batch, then flush it.
+	stale := stream.Now() - int64(10*time.Second)
+	b.installBatch(MigrateBatch{Side: stream.R, From: 1, Epoch: 1, Keys: []stream.Key{9}})
+	b.handleFlush(MigrateFlush{Side: stream.R, From: 1, Epoch: 1, Queued: []TupleMsg{
+		{T: stream.Tuple{Side: stream.S, Key: 5, Seq: 2}, Op: OpProbe, SentAt: stale, Seq: 3},
+	}}, nil)
+
+	if got := b.met.Latency.Count(); got != 1 {
+		t.Fatalf("replayed probe entered the latency histogram: samples = %d, want 1", got)
+	}
+	if max := b.met.Latency.Max(); max > int64(5*time.Second) {
+		t.Errorf("latency tail polluted by stale stamp: max = %v", time.Duration(max))
+	}
+	if got := b.met.ReplayedTuples.Count(); got != 1 {
+		t.Errorf("ReplayedTuples = %d, want 1", got)
+	}
+}
+
+// Regression: consume() only ever grew ops while opsSince stayed fixed,
+// so an idle spell banked unbounded service credit and a following burst
+// ran entirely unthrottled — under-modeling exactly the overload the
+// balancer is supposed to detect. The deficit must be clamped to one
+// burst window.
+func TestConsumeThrottlesAfterIdle(t *testing.T) {
+	b := newTestJoiner(t, Config{ServiceRate: 10000})
+	// Emulate 10 minutes of idle: wall clock far ahead of virtual time.
+	b.opsSince = time.Now().Add(-10 * time.Minute)
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		b.consume(10) // 500 ops = 50ms of virtual time at 10k ops/s
+	}
+	elapsed := time.Since(start)
+	// The clamp leaves at most burstWindow (20ms) of credit, so at least
+	// ~30ms of the 50ms virtual cost must be slept off.
+	if elapsed < 20*time.Millisecond {
+		t.Errorf("burst after idle ran unthrottled: %v for 500 ops at 10k/s", elapsed)
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Errorf("consume too slow: %v", elapsed)
 	}
 }

@@ -47,6 +47,35 @@ type TupleMsg struct {
 	// the source before the routing update and again after the revert
 	// bracket the tuples that reached the target in between).
 	Seq uint64
+	// Replayed marks a tuple re-processed from a migration buffer (the
+	// source's temporary queue, the target's inbound buffer, or an abort
+	// rollback). Its SentAt is stale by the whole migration handshake, so
+	// the latency histogram skips it; ReplayedTuples counts it instead.
+	Replayed bool
+}
+
+// TupleBatch carries several routed tuples of one (side, target) lane as a
+// single engine message: one channel send, one interface value, one
+// allocation for the whole group. The dispatcher accumulates per-lane
+// batches (Config.BatchSize / BatchLinger) and the joiner unpacks them
+// inline through the same handleTuple path, so batching changes message
+// granularity only — per-lane FIFO order, Seq numbering, and therefore the
+// migration fencing proof are untouched. Any open batch is flushed before
+// a Marker is emitted, so a marker still rides behind every earlier tuple
+// of its lane.
+type TupleBatch struct {
+	Msgs []TupleMsg
+}
+
+// ShuffleBatch carries several pre-processed tuples of one
+// shuffler→dispatcher lane as a single engine message (the upstream
+// counterpart of TupleBatch). The shuffler owns the key→dispatcher
+// mapping, so all tuples of one key still flow through one dispatcher
+// task in arrival order — the per-key FIFO the exactly-once argument
+// relies on is a property of the lane, not of the message granularity.
+// The slice is handed off on emit and never reused.
+type ShuffleBatch struct {
+	Tuples []stream.Tuple
 }
 
 // LoadReport is the periodic statistic a join instance sends to its side's

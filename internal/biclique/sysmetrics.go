@@ -39,6 +39,11 @@ type SystemMetrics struct {
 	// ReplayPanics counts tuples lost to panics during migration replay
 	// (each poisoned tuple costs only itself; see joinerBolt.replay).
 	ReplayPanics metrics.Counter
+	// ReplayedTuples meters tuples re-processed from migration buffers
+	// (temporary queue, inbound buffer, or abort rollback). Their SentAt
+	// stamps are stale by the handshake's wall-time, so they are counted
+	// here instead of polluting the Latency histogram.
+	ReplayedTuples *metrics.Meter
 
 	mu sync.Mutex
 	// liSeries records the real-time degree of load imbalance per side
@@ -64,8 +69,9 @@ type MigrationEvent struct {
 // NewSystemMetrics returns metrics sized for one system.
 func NewSystemMetrics(joinersPerSide int) *SystemMetrics {
 	m := &SystemMetrics{
-		Results: metrics.NewMeter(),
-		Latency: metrics.NewHistogram(),
+		Results:        metrics.NewMeter(),
+		Latency:        metrics.NewHistogram(),
+		ReplayedTuples: metrics.NewMeter(),
 	}
 	for side := 0; side < 2; side++ {
 		m.liSeries[side] = &metrics.TimeSeries{}

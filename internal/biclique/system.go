@@ -46,19 +46,26 @@ func Start(cfg Config) (*System, error) {
 		return &tupleSpout{src: cfg.Sources[task]}
 	}, len(cfg.Sources))
 
-	b.AddBolt(CompShuffler, newShufflerFactory(&cfg), cfg.Shufflers).
+	shuffler := b.AddBolt(CompShuffler, newShufflerFactory(&cfg), cfg.Shufflers).
 		Shuffle(CompSpout, streamTuples)
 
 	// Tuples are routed to dispatcher tasks by key so that all traffic of
 	// one key flows through a single dispatcher task — the per-key FIFO
 	// that both the plain hash join and the migration protocol's
-	// exactly-once argument rely on.
-	b.AddBolt(CompDispatcher, newDispatcherBolt(&cfg), cfg.Dispatchers).
-		Fields(CompShuffler, streamTuples, func(v any) uint64 {
-			return v.(stream.Tuple).Key
-		}).
+	// exactly-once argument rely on. The shuffler owns the key→task
+	// mapping (a direct subscription, not an engine grouping) so it can
+	// batch its per-dispatcher lanes.
+	dispatcher := b.AddBolt(CompDispatcher, newDispatcherBolt(&cfg), cfg.Dispatchers).
+		Direct(CompShuffler, streamTuples).
 		BroadcastCtrl(CompJoinerR, streamRouteUpd).
 		BroadcastCtrl(CompJoinerS, streamRouteUpd)
+	if cfg.BatchSize > 1 {
+		// The linger ticks bound how long a partially filled batch can sit
+		// in a busy shuffler or dispatcher; an idle task flushes eagerly
+		// via the engine's Flusher hook.
+		shuffler.TickEvery(cfg.BatchLinger)
+		dispatcher.TickEvery(cfg.BatchLinger)
+	}
 
 	b.AddBolt(CompJoinerR, newJoinerFactory(&cfg, stream.R, met), cfg.JoinersPerSide).
 		Direct(CompDispatcher, streamToR).

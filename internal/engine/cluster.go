@@ -32,9 +32,10 @@ type task struct {
 	data chan Message
 	ctrl chan Message
 
-	spout Spout // exactly one of spout/bolt is set
-	bolt  Bolt
-	subs  []*runtimeSub // outgoing subscriptions, resolved
+	spout   Spout // exactly one of spout/bolt is set
+	bolt    Bolt
+	flusher Flusher       // bolt's optional batch-flush hook, resolved once
+	subs    []*runtimeSub // outgoing subscriptions, resolved
 
 	processed atomic.Int64
 	emitted   atomic.Int64
@@ -89,6 +90,7 @@ func Submit(t *Topology, cfg Config) (*LocalCluster, error) {
 				ctrl: make(chan Message, cfg.CtrlQueueSize),
 				bolt: bd.factory(i),
 			}
+			tasks[i].flusher, _ = tasks[i].bolt.(Flusher)
 		}
 		c.tasks[bd.name] = tasks
 	}
@@ -237,9 +239,21 @@ func (c *LocalCluster) runBolt(tk *task) {
 }
 
 // dispatch runs one message through the bolt with panic isolation and
-// settles the pending count.
+// settles the pending count. After the bolt runs, a Flusher task whose
+// data queue has drained is flushed — still under this message's pending
+// count, which is what makes the quiescence invariant hold: an open batch
+// can only survive dispatch if another message is queued for the task,
+// so pending stays positive until the batch is delivered.
 func (c *LocalCluster) dispatch(tk *task, m Message) {
 	defer c.pending.Add(-1)
+	c.execute(tk, m)
+	if tk.flusher != nil && len(tk.data) == 0 {
+		c.flush(tk)
+	}
+}
+
+// execute runs the stall hook and the bolt callback with panic isolation.
+func (c *LocalCluster) execute(tk *task, m Message) {
 	defer func() {
 		if r := recover(); r != nil {
 			tk.panics.Add(1)
@@ -256,6 +270,18 @@ func (c *LocalCluster) dispatch(tk *task, m Message) {
 	}
 	tk.bolt.Execute(m, tk.collector)
 	tk.processed.Add(1)
+}
+
+// flush runs a Flusher's idle flush with the same panic isolation as
+// Execute, so a batch poisoned by a downstream routing fault cannot kill
+// the task loop — and an Execute panic still gets its batches flushed.
+func (c *LocalCluster) flush(tk *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			tk.panics.Add(1)
+		}
+	}()
+	tk.flusher.Flush(tk.collector)
 }
 
 // runTicker delivers periodic tick messages to one task's control queue.
@@ -282,7 +308,9 @@ func (c *LocalCluster) runTicker(tk *task, every time.Duration) {
 	}
 }
 
-// route fans one emitted value out according to a subscription.
+// route fans one emitted value out according to a subscription. The
+// per-target delivery lives in the enqueueOne method (not a closure) so
+// the hot emit path costs no allocation beyond the value's own boxing.
 func (c *LocalCluster) route(tk *task, sub *runtimeSub, value any, directTask int) {
 	m := Message{
 		FromComp: tk.ctx.Component,
@@ -291,47 +319,50 @@ func (c *LocalCluster) route(tk *task, sub *runtimeSub, value any, directTask in
 		Value:    value,
 	}
 	n := len(sub.target)
-	enqueue := func(target *task) {
-		q := target.data
-		if sub.control {
-			q = target.ctrl
-		}
-		if c.cfg.Inject != nil {
-			switch d := c.cfg.Inject(target.ctx, sub.stream, sub.control, value); d.Op {
-			case FaultDrop:
-				// Silently discarded: not pending, not counted as emitted.
-				return
-			case FaultDup:
-				if c.send(q, m) {
-					tk.emitted.Add(1)
-				}
-			case FaultDelay:
-				c.sendLater(q, m, d.Delay)
-				tk.emitted.Add(1)
-				return
-			}
-		}
-		if c.send(q, m) {
-			tk.emitted.Add(1)
-		}
-	}
 	switch sub.kind {
 	case groupShuffle:
-		enqueue(sub.target[int(sub.rr.Add(1)-1)%n])
+		c.enqueueOne(tk, sub, m, sub.target[int(sub.rr.Add(1)-1)%n])
 	case groupFields:
-		enqueue(sub.target[xhash.Partition(sub.keyFn(value), n)])
+		c.enqueueOne(tk, sub, m, sub.target[xhash.Partition(sub.keyFn(value), n)])
 	case groupBroadcast:
 		for _, target := range sub.target {
-			enqueue(target)
+			c.enqueueOne(tk, sub, m, target)
 		}
 	case groupGlobal:
-		enqueue(sub.target[0])
+		c.enqueueOne(tk, sub, m, sub.target[0])
 	case groupDirect:
 		if directTask < 0 || directTask >= n {
 			panic(fmt.Sprintf("engine: direct emit to task %d of %d on stream %q", //lint:allow panicpath direct-emit target out of range is a routing invariant violation; recovered and counted per task
 				directTask, n, sub.stream))
 		}
-		enqueue(sub.target[directTask])
+		c.enqueueOne(tk, sub, m, sub.target[directTask])
+	}
+}
+
+// enqueueOne delivers one routed message to one target task, running the
+// fault injector if configured.
+func (c *LocalCluster) enqueueOne(tk *task, sub *runtimeSub, m Message, target *task) {
+	q := target.data
+	if sub.control {
+		q = target.ctrl
+	}
+	if c.cfg.Inject != nil {
+		switch d := c.cfg.Inject(target.ctx, sub.stream, sub.control, m.Value); d.Op {
+		case FaultDrop:
+			// Silently discarded: not pending, not counted as emitted.
+			return
+		case FaultDup:
+			if c.send(q, m) {
+				tk.emitted.Add(1)
+			}
+		case FaultDelay:
+			c.sendLater(q, m, d.Delay)
+			tk.emitted.Add(1)
+			return
+		}
+	}
+	if c.send(q, m) {
+		tk.emitted.Add(1)
 	}
 }
 

@@ -81,6 +81,17 @@ type Bolt interface {
 	Cleanup()
 }
 
+// Flusher is an optional Bolt extension for operators that accumulate
+// emitted values into batches. The runtime calls Flush from the task's
+// goroutine after an Execute that leaves the task's data queue empty, so
+// a batch is never left open while the cluster is otherwise quiescent:
+// an open batch implies a queued message for the task, which implies a
+// positive pending count, which keeps WaitComplete/Drain waiting. Flush
+// must be idempotent (it runs after control messages and ticks too).
+type Flusher interface {
+	Flush(out *Collector)
+}
+
 // SpoutFactory builds the spout instance for one task.
 type SpoutFactory func(task int) Spout
 

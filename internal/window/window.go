@@ -76,15 +76,34 @@ func (s *Store) Add(t stream.Tuple) {
 }
 
 // bumpSub advances the sub-window vector to cover eventTime and increments
-// the current (newest) sub-window counter.
+// the current (newest) sub-window counter. The advance is arithmetic — one
+// division, not one append per elapsed subSpan — and the vector is capped
+// at subCount live sub-windows (the paper's fixed-size vector): a single
+// tuple after a large event-time gap, or a far-future outlier, must not
+// grow subs by millions of entries and stall the joiner.
 func (s *Store) bumpSub(eventTime int64) {
 	if len(s.subs) == 0 {
 		s.subs = append(s.subs, 0)
 		s.subStart = eventTime
 	}
-	for eventTime >= s.subStart+s.subSpan {
-		s.subs = append(s.subs, 0)
-		s.subStart += s.subSpan
+	if eventTime >= s.subStart+s.subSpan {
+		steps := (eventTime - s.subStart) / s.subSpan
+		s.subStart += steps * s.subSpan
+		if steps >= int64(s.subCount) {
+			// The gap swallows every live sub-window: restart the vector at
+			// the new position instead of materializing the empty middle.
+			s.subs = append(s.subs[:0], 0)
+		} else {
+			for i := int64(0); i < steps; i++ {
+				s.subs = append(s.subs, 0)
+			}
+			if excess := len(s.subs) - s.subCount; excess > 0 {
+				// Anything pushed past subCount has expired by definition of
+				// the window; drop it from the head. (Advance reclaims the
+				// tuples themselves on its own wall-clock schedule.)
+				s.subs = s.subs[excess:]
+			}
+		}
 	}
 	s.subs[len(s.subs)-1]++
 }

@@ -301,3 +301,46 @@ func TestNoExpiredResidentProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: bumpSub used to append one sub-window per elapsed subSpan,
+// so a single tuple after a large event-time gap (or one far-future
+// outlier) grew the vector by one entry per span — millions for a
+// realistic gap — and stalled the joiner. The advance must be arithmetic
+// and the vector capped at subCount, the paper's fixed-size vector.
+func TestBumpSubBoundedAfterTimeGap(t *testing.T) {
+	s := NewWindowed(800, 8) // subSpan = 100
+	s.Add(tup(1, 0, 0))
+	// One tuple a million sub-spans later: the old loop materialized
+	// every empty sub-window in between.
+	s.Add(tup(1, 1, 100_000_000))
+	subs := s.SubWindows()
+	if len(subs) > 8 {
+		t.Fatalf("subs grew to %d entries after a time gap, want <= 8", len(subs))
+	}
+	if subs[len(subs)-1] != 1 {
+		t.Errorf("newest sub-window = %d, want 1", subs[len(subs)-1])
+	}
+	// Counting continues normally at the new position.
+	s.Add(tup(1, 2, 100_000_050))
+	subs = s.SubWindows()
+	if subs[len(subs)-1] != 2 {
+		t.Errorf("newest sub-window after follow-up = %d, want 2", subs[len(subs)-1])
+	}
+}
+
+// Regression: even moderate per-tuple gaps must never grow the vector
+// beyond subCount live sub-windows between Advance calls.
+func TestBumpSubCapsAtSubCount(t *testing.T) {
+	s := NewWindowed(800, 8)
+	for i := 0; i < 100; i++ {
+		s.Add(tup(1, uint64(i), int64(i)*300)) // 3 sub-spans per step
+	}
+	if got := len(s.SubWindows()); got > 8 {
+		t.Fatalf("subs = %d entries, want <= 8", got)
+	}
+	// Expiry still works against the trimmed vector.
+	s.Advance(100*300 + 800)
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after advancing past every tuple, want 0", s.Len())
+	}
+}
