@@ -38,12 +38,16 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(PKGS)
 
 ## bench-smoke: short fixed-seed batching A/B (the BENCH_3 experiment at
-## -quick scale) plus the data-plane allocation benchmarks. Writes
+## -quick scale), the store A/B (the BENCH_4 experiment at -quick scale),
+## the data-plane allocation benchmarks, and the allocation ceiling gate
+## (scripts/alloc_gate.sh, ceiling in ci/alloc_ceiling.txt). Writes
 ## bench-smoke.json, which CI archives as an artifact; a regression in
 ## the batched path shows up as the speedup column sliding toward 1.0.
 bench-smoke:
 	$(GO) run ./cmd/fastjoin-bench -figure batch -quick -json bench-smoke.json
+	$(GO) run ./cmd/fastjoin-bench -figure store -quick -json bench-smoke-store.json
 	$(GO) test -run='^$$' -bench 'BenchmarkDataPlane' -benchtime=3x ./internal/biclique
+	./scripts/alloc_gate.sh
 
 ## chaos: the seeded fault-injection sweep under the race detector. Every
 ## run must produce the exact brute-force join result or a cleanly

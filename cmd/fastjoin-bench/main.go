@@ -38,6 +38,7 @@ func main() {
 
 		batchSize   = flag.Int("batch", 0, "dispatcher batch size for every run (0 = default 32, 1 = unbatched)")
 		batchLinger = flag.Duration("batch.linger", 0, "partial-batch flush deadline (0 = default 2ms)")
+		storeImpl   = flag.String("store", "", "window-store implementation for every run (\"\" = default \"chunked\", or \"map\")")
 
 		chaosProfile = flag.String("chaos", "", "fault drill: chaos profile (none, droponly, delayonly, duponly, mixed, abortstorm)")
 		chaosSeed    = flag.Int64("chaos.seed", 1, "chaos injector seed (a drill replays exactly per seed)")
@@ -64,6 +65,7 @@ func main() {
 		Seed:        *seed,
 		BatchSize:   *batchSize,
 		BatchLinger: *batchLinger,
+		Store:       *storeImpl,
 		Quick:       *quick,
 
 		ChaosProfile: *chaosProfile,

@@ -188,6 +188,11 @@ type Options struct {
 	ChaosProfile string
 	// ChaosSeed seeds the chaos injector's per-lane random streams.
 	ChaosSeed int64
+	// Store selects the join instances' window-store implementation:
+	// "" or "chunked" is the arena store (the default), "map" the
+	// reference map[Key][]Tuple layout kept for A/B benchmarking and
+	// differential testing.
+	Store string
 }
 
 // System is a running stream join system.
@@ -220,6 +225,14 @@ func New(opts Options) (*System, error) {
 	}
 	if cfg.JoinersPerSide == 0 {
 		cfg.JoinersPerSide = 4
+	}
+	switch opts.Store {
+	case "", "chunked":
+		cfg.StoreImpl = biclique.StoreChunked
+	case "map":
+		cfg.StoreImpl = biclique.StoreMap
+	default:
+		return nil, fmt.Errorf("fastjoin: unknown store implementation %q (want \"chunked\" or \"map\")", opts.Store)
 	}
 	if opts.OnResult != nil {
 		cfg.EmitResults = true
@@ -358,6 +371,14 @@ type Stats struct {
 	// they are excluded from the latency percentiles above (their send
 	// stamps are stale by the migration handshake's wall-time).
 	ReplayedTuples int64 `json:"replayed_tuples,omitempty"`
+	// Heap/GC gauges (biclique.SystemMetrics.RuntimeSample): live heap at
+	// the snapshot, cumulative allocation, and GC work since the system's
+	// metrics were created. The arena store exists to push AllocBytes and
+	// GCPauseTotalUs down; these make that visible per run.
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GCPauseTotalUs float64 `json:"gc_pause_total_us"`
 }
 
 // String renders a one-line summary.
@@ -375,6 +396,7 @@ func (st Stats) String() string {
 func (s *System) Stats() Stats {
 	m := s.sys.Metrics()
 	lat := m.Latency.Snapshot()
+	rt := m.RuntimeSample()
 	return Stats{
 		System:          s.kind.String(),
 		Results:         m.Results.Count(),
@@ -389,5 +411,9 @@ func (s *System) Stats() Stats {
 		MigratedTuples:  m.MigratedTuples.Value(),
 		MigrationAborts: m.MigrationAborts.Value(),
 		ReplayedTuples:  m.ReplayedTuples.Count(),
+		HeapAllocBytes:  rt.HeapAllocBytes,
+		AllocBytes:      rt.AllocBytes,
+		GCCycles:        rt.GCCycles,
+		GCPauseTotalUs:  float64(rt.GCPauseTotal) / 1e3,
 	}
 }

@@ -47,6 +47,7 @@ func All() []*Experiment {
 		expFig12_13(),
 		expFig14(),
 		expBatch(),
+		expStore(),
 		Ablation(),
 	}
 }
@@ -444,6 +445,57 @@ func expFig14() *Experiment {
 
 // ---------------------------------------------------------------- batch
 
+// zipfG10ThetaR is the skew of the shared A/B workload: zipf θ=1 on R (hot
+// routing lanes, hot stores), uniform S.
+const zipfG10ThetaR = 1.0
+
+// pregenZipfG10 materializes the deterministic skew-group-G10 workload the
+// data-plane A/B experiments (batch, store) share, returning a factory that
+// replays the identical tuple slices at memory speed for every run. With a
+// full-history store the join cardinality is Σ_k |R_k|·|S_k| — a function of
+// the tuple multiset only, so every run produces the IDENTICAL result count
+// no matter how arrival interleaves, and throughput ratios compare equal
+// work. (A time window would make match volume depend on source
+// interleaving and drown the A/B in run-to-run noise; uniform S keeps the
+// hot key's scan cost linear instead of quadratic. Live zipf sampling is
+// slower than the paths under test and would bound ingestion.)
+func pregenZipfG10(p Params) func() []fastjoin.TupleSource {
+	gen := fastjoin.NewZipfWorkload(fastjoin.ZipfOptions{
+		Keys:     p.Keys,
+		ThetaR:   zipfG10ThetaR,
+		ThetaS:   0,
+		Tuples:   p.TupleBudget,
+		Parallel: 3,
+		Seed:     p.Seed,
+	})
+	pre := make([][]fastjoin.Tuple, len(gen.Sources))
+	for i, src := range gen.Sources {
+		for {
+			t, ok := src()
+			if !ok {
+				break
+			}
+			pre[i] = append(pre[i], t)
+		}
+	}
+	return func() []fastjoin.TupleSource {
+		out := make([]fastjoin.TupleSource, len(pre))
+		for i := range pre {
+			ts := pre[i]
+			idx := 0
+			out[i] = func() (fastjoin.Tuple, bool) {
+				if idx >= len(ts) {
+					return fastjoin.Tuple{}, false
+				}
+				t := ts[idx]
+				idx++
+				return t, true
+			}
+		}
+		return out
+	}
+}
+
 // expBatch is the batched-data-plane A/B (archived as BENCH_3.json): the
 // identical skewed zipf workload at fixed seed runs with batching off
 // (BatchSize 1, the legacy one-message-per-tuple path) and on (the
@@ -473,45 +525,7 @@ func expBatch() *Experiment {
 			// volume depend on source interleaving and drown the A/B in
 			// run-to-run noise; uniform S keeps the hot key's scan cost
 			// linear instead of quadratic.)
-			const zipfThetaR = 1.0
-			// Pre-generate the workload: live zipf sampling is slower than
-			// the data plane under test and would bound ingestion, hiding
-			// the A/B difference. Every run replays the identical tuple
-			// slices at memory speed.
-			gen := fastjoin.NewZipfWorkload(fastjoin.ZipfOptions{
-				Keys:     p.Keys,
-				ThetaR:   zipfThetaR,
-				ThetaS:   0,
-				Tuples:   p.TupleBudget,
-				Parallel: 3,
-				Seed:     p.Seed,
-			})
-			pre := make([][]fastjoin.Tuple, len(gen.Sources))
-			for i, src := range gen.Sources {
-				for {
-					t, ok := src()
-					if !ok {
-						break
-					}
-					pre[i] = append(pre[i], t)
-				}
-			}
-			mkSources := func() []fastjoin.TupleSource {
-				out := make([]fastjoin.TupleSource, len(pre))
-				for i := range pre {
-					ts := pre[i]
-					idx := 0
-					out[i] = func() (fastjoin.Tuple, bool) {
-						if idx >= len(ts) {
-							return fastjoin.Tuple{}, false
-						}
-						t := ts[idx]
-						idx++
-						return t, true
-					}
-				}
-				return out
-			}
+			mkSources := pregenZipfG10(p)
 			// Best-of-reps: the runs are sub-second, so scheduler noise
 			// swings a single measurement by ±20%; the fastest of a few
 			// repetitions is the standard throughput estimate.
@@ -541,7 +555,7 @@ func expBatch() *Experiment {
 			}
 			rep := &Report{
 				ID:     "batch",
-				Title:  fmt.Sprintf("Batching off (BatchSize=1) vs on (BatchSize=%d): zipf G10 (θR=%.1f, uniform S), %d joiners/side, seed %d", fastjoin.DefaultBatchSize, zipfThetaR, p.Joiners, p.Seed),
+				Title:  fmt.Sprintf("Batching off (BatchSize=1) vs on (BatchSize=%d): zipf G10 (θR=%.1f, uniform S), %d joiners/side, seed %d", fastjoin.DefaultBatchSize, zipfG10ThetaR, p.Joiners, p.Seed),
 				XLabel: "system",
 				Columns: []string{
 					"unbatched(results/s)", "batched(results/s)", "speedup",
@@ -573,6 +587,90 @@ func expBatch() *Experiment {
 				}
 			}
 			rep.AddNote("ServiceRate forced to 0 (capacity emulation sleeps would mask the per-message overhead under test)")
+			return []*Report{rep}, nil
+		},
+	}
+}
+
+// ---------------------------------------------------------------- store
+
+// expStore is the window-store A/B (archived as BENCH_4.json): the same
+// deterministic zipf G10 workload as the batch experiment runs against the
+// map-based reference store and the chunked arena store, both on the default
+// batched data plane. The methodology mirrors expBatch (ServiceRate 0,
+// full-history, pre-generated sources, best-of-reps); the equal-result-count
+// check doubles as a system-level differential test of the chunked store,
+// and the report carries the GC accounting the arena exists to improve.
+func expStore() *Experiment {
+	return &Experiment{
+		ID:      "store",
+		Aliases: []string{"bench4"},
+		Title:   "Window-store A/B: map reference vs chunked arena store (BENCH_4)",
+		Run: func(p Params) ([]*Report, error) {
+			p = p.withDefaults()
+			mkSources := pregenZipfG10(p)
+			reps := 3
+			if p.Quick {
+				reps = 1
+			}
+			run := func(kind fastjoin.Kind, store string) (BatchResult, error) {
+				var best BatchResult
+				for r := 0; r < reps; r++ {
+					opts := sysOptions(kind, p, p.Joiners, mkSources())
+					opts.ServiceRate = 0 // full-history, CPU/channel bound
+					opts.Store = store
+					res, err := runBatch(kind, opts)
+					if err != nil {
+						return BatchResult{}, err
+					}
+					if r == 0 || res.Elapsed < best.Elapsed {
+						best = res
+					}
+					if res.Results != best.Results {
+						return BatchResult{}, fmt.Errorf("store %s rep %d: result count %d != %d; workload not deterministic",
+							kind, r, res.Results, best.Results)
+					}
+				}
+				return best, nil
+			}
+			rep := &Report{
+				ID:     "store",
+				Title:  fmt.Sprintf("Store map vs chunked: zipf G10 (θR=%.1f, uniform S), %d joiners/side, seed %d, BatchSize=%d", zipfG10ThetaR, p.Joiners, p.Seed, fastjoin.DefaultBatchSize),
+				XLabel: "system",
+				Columns: []string{
+					"map(results/s)", "chunked(results/s)", "speedup",
+					"map_lat_us", "chunked_lat_us",
+					"map_alloc_mb", "chunked_alloc_mb",
+				},
+			}
+			for _, kind := range []fastjoin.Kind{fastjoin.KindBiStream, fastjoin.KindFastJoin} {
+				ref, err := run(kind, "map")
+				if err != nil {
+					return nil, fmt.Errorf("store %s map: %w", kind, err)
+				}
+				chk, err := run(kind, "chunked")
+				if err != nil {
+					return nil, fmt.Errorf("store %s chunked: %w", kind, err)
+				}
+				speedup := 0.0
+				if ref.Throughput > 0 {
+					speedup = chk.Throughput / ref.Throughput
+				}
+				rep.AddRow(kind.String(),
+					ref.Throughput, chk.Throughput, speedup,
+					ref.LatencyMeanUs, chk.LatencyMeanUs,
+					float64(ref.AllocBytes)/1e6, float64(chk.AllocBytes)/1e6)
+				rep.AddNote("%s: %d results, map %s vs chunked %s elapsed (speedup %.2fx); GC map %d cycles/%.0fµs pause, chunked %d cycles/%.0fµs pause",
+					kind, chk.Results, ref.Elapsed.Round(time.Millisecond),
+					chk.Elapsed.Round(time.Millisecond), speedup,
+					ref.GCCycles, ref.GCPauseUs, chk.GCCycles, chk.GCPauseUs)
+				if ref.Results != chk.Results {
+					return nil, fmt.Errorf("store %s: result counts diverge (map %d, chunked %d); the chunked store broke exact-match semantics",
+						kind, ref.Results, chk.Results)
+				}
+			}
+			rep.AddNote("equal result counts are the system-level differential check: both stores joined the identical multiset")
+			rep.AddNote("ServiceRate forced to 0 (capacity emulation sleeps would mask the store cost under test)")
 			return []*Report{rep}, nil
 		},
 	}

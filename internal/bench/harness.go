@@ -36,6 +36,10 @@ type Params struct {
 	// BatchLinger overrides how long a partially filled batch may wait
 	// before a tick flushes it (0 = system default).
 	BatchLinger time.Duration
+	// Store overrides the joiners' window-store implementation for every
+	// run ("" = system default, i.e. "chunked"; "map" = the reference
+	// layout). The store A/B experiment ignores it and sweeps both.
+	Store string
 	// Quick shrinks sweeps and durations for smoke tests.
 	Quick bool
 	// ChaosProfile, when non-empty, runs every system under the named
@@ -127,6 +131,7 @@ func sysOptions(kind fastjoin.Kind, p Params, joiners int, sources []fastjoin.Tu
 		Seed:          uint64(p.Seed),
 		BatchSize:     p.BatchSize,
 		BatchLinger:   p.BatchLinger,
+		Store:         p.Store,
 		ChaosProfile:  p.ChaosProfile,
 		ChaosSeed:     p.ChaosSeed,
 		AbortTimeout:  abortTimeoutFor(p),
@@ -165,6 +170,12 @@ type BatchResult struct {
 	LatencyP99Us  float64
 	Migrations    int64
 	FinalLI       float64
+	// GC accounting of the run (fastjoin.Stats runtime gauges): cumulative
+	// bytes allocated and total GC pause. The store experiment's A/B reads
+	// the arena win off these.
+	AllocBytes uint64
+	GCPauseUs  float64
+	GCCycles   uint32
 }
 
 // runBatch pushes a finite workload through one system and measures it.
@@ -190,6 +201,9 @@ func runBatch(kind fastjoin.Kind, opts fastjoin.Options) (BatchResult, error) {
 		LatencyP99Us:  st.LatencyP99Us,
 		Migrations:    st.Migrations,
 		FinalLI:       lastLI(sys),
+		AllocBytes:    st.AllocBytes,
+		GCPauseUs:     st.GCPauseTotalUs,
+		GCCycles:      st.GCCycles,
 	}
 	return res, nil
 }

@@ -30,7 +30,7 @@ func runBenchPipeline(b *testing.B, cfg Config, tuples []stream.Tuple) int64 {
 	return pairs.Load()
 }
 
-func benchmarkDataPlane(b *testing.B, batchSize int) {
+func benchmarkDataPlane(b *testing.B, batchSize int, store StoreImpl) {
 	// Sparse key space: few pairs actually match, so per-pair result
 	// allocations do not drown out the per-tuple transport cost the
 	// benchmark is comparing (boxing + channel send per emit vs per batch).
@@ -41,6 +41,7 @@ func benchmarkDataPlane(b *testing.B, batchSize int) {
 		cfg := baseConfig()
 		cfg.Strategy = StrategyHash
 		cfg.BatchSize = batchSize
+		cfg.StoreImpl = store
 		// Long stats interval: keep the periodic reporter out of the
 		// allocation profile so the comparison isolates the data plane.
 		cfg.StatsInterval = time.Second
@@ -53,9 +54,18 @@ func benchmarkDataPlane(b *testing.B, batchSize int) {
 // BenchmarkDataPlaneUnbatched measures the legacy per-tuple path: every
 // dispatcher emit boxes one TupleMsg into an interface and performs one
 // channel send.
-func BenchmarkDataPlaneUnbatched(b *testing.B) { benchmarkDataPlane(b, 1) }
+func BenchmarkDataPlaneUnbatched(b *testing.B) { benchmarkDataPlane(b, 1, StoreChunked) }
 
 // BenchmarkDataPlaneBatch32 measures the batched data plane at the
 // default batch size; allocs/op must come in well below the unbatched
-// run since boxing and channel sends are amortized ~32×.
-func BenchmarkDataPlaneBatch32(b *testing.B) { benchmarkDataPlane(b, DefaultBatchSize) }
+// run since boxing and channel sends are amortized ~32×. This is the
+// benchmark scripts/alloc_gate.sh holds against ci/alloc_ceiling.txt.
+func BenchmarkDataPlaneBatch32(b *testing.B) { benchmarkDataPlane(b, DefaultBatchSize, StoreChunked) }
+
+// BenchmarkDataPlaneBatch32MapStore is the same run with the map
+// reference store, making the arena's allocation win directly observable:
+//
+//	go test ./internal/biclique -bench 'DataPlaneBatch32' -benchmem
+func BenchmarkDataPlaneBatch32MapStore(b *testing.B) {
+	benchmarkDataPlane(b, DefaultBatchSize, StoreMap)
+}

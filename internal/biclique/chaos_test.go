@@ -84,7 +84,7 @@ func waitChaosSettled(t *testing.T, sys *System) {
 // differential property: the emitted pair set must equal the brute-force
 // reference exactly — no losses, no duplicates, no spurious pairs — no
 // matter what the profile dropped, delayed, duplicated, or aborted.
-func runChaos(t *testing.T, profileName string, seed uint64, nTuples int) *System {
+func runChaos(t *testing.T, profileName string, seed uint64, nTuples int, mutate ...func(*Config)) *System {
 	t.Helper()
 	profile, err := chaos.Lookup(profileName)
 	if err != nil {
@@ -93,6 +93,9 @@ func runChaos(t *testing.T, profileName string, seed uint64, nTuples int) *Syste
 	tuples := makeWorkload(nTuples, 30, 0.5, int64(seed)+100)
 	cfg := chaosBaseConfig(seed)
 	cfg.Chaos = chaos.NewInjector(profile, int64(seed))
+	for _, m := range mutate {
+		m(&cfg)
+	}
 
 	col := newPairCollector()
 	cfg.EmitResults = true
@@ -246,6 +249,7 @@ func TestChaosClassify(t *testing.T) {
 		{TupleMsg{}, chaos.ClassData},
 		{TupleBatch{}, chaos.ClassData},
 		{ShuffleBatch{}, chaos.ClassData},
+		{&PairBatch{}, chaos.ClassData},
 		{Marker{}, chaos.ClassMarker},
 		{Marker{Revert: true}, chaos.ClassMarkerRevert},
 		{RouteUpdate{}, chaos.ClassRouteUpdate},

@@ -27,6 +27,12 @@ func ChaosClassify(value any) chaos.Class {
 		// dropping one would lose a whole lane segment, so profiles must
 		// keep it as clean as a single TupleMsg.
 		return chaos.ClassData
+	case *PairBatch:
+		// Result batches are pooled and recycled by the sink; besides being
+		// join output (dropping one loses pairs), a duplicated delivery
+		// would race the pool's reuse of the buffer. ClassData keeps every
+		// profile's hands off.
+		return chaos.ClassData
 	case Marker:
 		if v.Revert {
 			return chaos.ClassMarkerRevert

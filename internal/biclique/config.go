@@ -8,6 +8,7 @@ import (
 	"fastjoin/internal/core"
 	"fastjoin/internal/engine"
 	"fastjoin/internal/stream"
+	"fastjoin/internal/window"
 )
 
 // Strategy selects the partitioning scheme of the dispatcher.
@@ -48,6 +49,45 @@ func (s Strategy) String() string {
 // ok=false when exhausted. Sources must be safe to call from the spout's
 // goroutine only (no extra synchronization needed).
 type TupleSource func() (t stream.Tuple, ok bool)
+
+// StoreImpl selects the window-store implementation of the join instances.
+type StoreImpl uint8
+
+const (
+	// StoreChunked is the chunked arena store (the default): slab-backed
+	// per-key chunk chains with an open-addressing index and O(expired)
+	// expiry. See DESIGN.md "Store memory layout".
+	StoreChunked StoreImpl = iota
+	// StoreMap is the map[Key][]Tuple reference store — the differential
+	// oracle and the A/B baseline of the bench `store` experiment.
+	StoreMap
+)
+
+// String names the store implementation as the bench flags do.
+func (s StoreImpl) String() string {
+	switch s {
+	case StoreChunked:
+		return "chunked"
+	case StoreMap:
+		return "map"
+	default:
+		return fmt.Sprintf("StoreImpl(%d)", uint8(s))
+	}
+}
+
+// newStore builds one join instance's window store per the config.
+func newStore(cfg *Config) window.Store {
+	switch {
+	case cfg.Window > 0 && cfg.StoreImpl == StoreMap:
+		return window.NewRefWindowed(cfg.Window.Nanoseconds(), cfg.SubWindows)
+	case cfg.Window > 0:
+		return window.NewWindowed(cfg.Window.Nanoseconds(), cfg.SubWindows)
+	case cfg.StoreImpl == StoreMap:
+		return window.NewRef()
+	default:
+		return window.New()
+	}
+}
 
 // MigrationConfig controls FastJoin's dynamic load balancing.
 type MigrationConfig struct {
@@ -112,6 +152,10 @@ type Config struct {
 	// regardless — the linger only matters while the task stays busy with
 	// other lanes' traffic.
 	BatchLinger time.Duration
+	// StoreImpl selects the join instances' window-store implementation:
+	// StoreChunked (the default arena store) or StoreMap (the reference
+	// layout, kept for A/B benchmarking and differential testing).
+	StoreImpl StoreImpl
 	// Window is the join window span; zero means full-history join.
 	Window time.Duration
 	// SubWindows is the number of sub-windows when Window > 0 (default 8).
@@ -184,6 +228,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Window < 0 {
 		return fmt.Errorf("biclique: negative window")
+	}
+	if c.StoreImpl > StoreMap {
+		return fmt.Errorf("biclique: unknown store implementation %v", c.StoreImpl)
 	}
 	if c.Dispatchers <= 0 {
 		c.Dispatchers = 2

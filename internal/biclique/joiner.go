@@ -32,7 +32,12 @@ type joinerBolt struct {
 	met  *SystemMetrics
 	ctx  engine.Context
 
-	store *window.Store
+	store window.Store
+
+	// pairs accumulates matched pairs during Execute and is emitted as one
+	// pooled *PairBatch to the sink (which recycles it). Flushed at the end
+	// of every Execute, so a batch never outlives the delivery it came from.
+	pairs *PairBatch
 
 	// Probe statistics: total arrivals since the last load report, an
 	// EWMA-smoothed probe pressure (φ_si ≈ arrivals + backlog, the paper's
@@ -42,6 +47,25 @@ type joinerBolt struct {
 	probeEWMA      float64
 	probeCur       map[stream.Key]int64
 	probePrev      map[stream.Key]int64
+
+	// Probe scratch: the match callback is bound once in Prepare and fed
+	// per-probe state through these fields. Passing a fresh closure to
+	// ForEachMatch would heap-allocate it (plus its captured counters) on
+	// every probe, since the interface call is an escape point.
+	probeFn      func(stream.Tuple)
+	probeTuple   stream.Tuple
+	probeNow     int64
+	probeOut     *engine.Collector
+	probeMatches int64
+	probeScanned int
+
+	// Scratch buffers reused across stats ticks and migration attempts so
+	// the monitor/migration path stays allocation-free at steady state.
+	// GreedyFit (and SAFit) copy what they keep, so handing statScratch to
+	// the selector is safe; custom Selectors must not retain input.Keys.
+	kcScratch   []window.KeyCount
+	statScratch []core.KeyStat
+	probeMerge  map[stream.Key]int64
 
 	// Migration source state. Epochs number this instance's attempts;
 	// markerSet collects the distinct dispatcher tasks that acked the
@@ -101,13 +125,22 @@ func newJoinerFactory(cfg *Config, side stream.Side, met *SystemMetrics) engine.
 
 func (b *joinerBolt) Prepare(ctx engine.Context, _ *engine.Collector) {
 	b.ctx = ctx
-	if b.cfg.Window > 0 {
-		b.store = window.NewWindowed(b.cfg.Window.Nanoseconds(), b.cfg.SubWindows)
-	} else {
-		b.store = window.New()
-	}
+	b.store = newStore(b.cfg)
 	b.probeCur = make(map[stream.Key]int64)
 	b.probePrev = make(map[stream.Key]int64)
+	b.probeMerge = make(map[stream.Key]int64)
+	pred := b.cfg.Predicate
+	b.probeFn = func(stored stream.Tuple) {
+		b.probeScanned++
+		pair := b.makePair(stored, b.probeTuple, b.probeNow)
+		if pred != nil && !pred(pair.R, pair.S) {
+			return
+		}
+		b.probeMatches++
+		if b.cfg.EmitResults {
+			b.appendPair(pair, b.probeOut)
+		}
+	}
 	b.opsSince = time.Now()
 	if t := b.cfg.Migration.AbortTimeout; t > 0 {
 		// The timeout is measured in stats ticks so the decision is made
@@ -160,6 +193,10 @@ func (b *joinerBolt) consume(cost float64) {
 }
 
 func (b *joinerBolt) Execute(m engine.Message, out *engine.Collector) {
+	// Deferred so the accumulated pairs ship even when handleBatch re-raises
+	// an isolated per-tuple panic: the matches of the healthy tuples in the
+	// batch must not vanish with the poisoned one.
+	defer b.flushPairs(out)
 	switch v := m.Value.(type) {
 	case TupleMsg:
 		b.handleTuple(v, out)
@@ -264,30 +301,21 @@ func (b *joinerBolt) probe(tm TupleMsg, out *engine.Collector) {
 	b.probesInterval++
 	b.probeCur[key]++
 
-	pred := b.cfg.Predicate
-	matches := int64(0)
-	scanned := 0
 	// One clock read per probe, not per matched pair: on a hot key a
 	// single probe can yield thousands of pairs and the vDSO call would
 	// dominate the whole scan (it showed up at ~47% of CPU).
-	now := stream.Now()
-	b.store.ForEachMatch(key, func(stored stream.Tuple) {
-		scanned++
-		pair := b.makePair(stored, tm.T, now)
-		if pred != nil && !pred(pair.R, pair.S) {
-			return
-		}
-		matches++
-		if b.cfg.EmitResults {
-			out.Emit(streamResults, pair)
-		}
-	})
-	if !b.cfg.EmitResults && matches > 0 {
-		b.met.Results.Mark(matches)
+	b.probeTuple = tm.T
+	b.probeNow = stream.Now()
+	b.probeOut = out
+	b.probeMatches, b.probeScanned = 0, 0
+	b.store.ForEachMatch(key, b.probeFn)
+	b.probeOut = nil
+	if !b.cfg.EmitResults && b.probeMatches > 0 {
+		b.met.Results.Mark(b.probeMatches)
 	}
 	// A probe that finds an empty bucket is just a hash lookup — far
 	// cheaper than a store's insert — so its base cost is fractional.
-	b.consume(probeBaseCost + b.cfg.MatchCost*float64(scanned))
+	b.consume(probeBaseCost + b.cfg.MatchCost*float64(b.probeScanned))
 	if tm.Replayed {
 		// Migration replays carry SentAt stamps that are stale by the whole
 		// handshake; observing them would spike the tail of the latency
@@ -296,6 +324,30 @@ func (b *joinerBolt) probe(tm TupleMsg, out *engine.Collector) {
 		return
 	}
 	b.met.Latency.Observe(stream.Now() - tm.SentAt)
+}
+
+// appendPair adds one matched pair to the pooled result batch, flushing
+// when it fills. Emitting pairs by the batch instead of one Emit per pair
+// removes the per-pair message-envelope allocation that dominated the probe
+// path on hot keys.
+func (b *joinerBolt) appendPair(p stream.JoinedPair, out *engine.Collector) {
+	if b.pairs == nil {
+		b.pairs = getPairBatch()
+	}
+	b.pairs.Pairs = append(b.pairs.Pairs, p)
+	if len(b.pairs.Pairs) >= pairBatchCap {
+		b.flushPairs(out)
+	}
+}
+
+// flushPairs emits the accumulated result batch, handing ownership to the
+// sink (which returns the batch to the pool after draining it).
+func (b *joinerBolt) flushPairs(out *engine.Collector) {
+	if b.pairs == nil || len(b.pairs.Pairs) == 0 {
+		return
+	}
+	out.Emit(streamResults, b.pairs)
+	b.pairs = nil
 }
 
 // makePair orients (stored, probing) into (R, S); joinedAt is the
@@ -687,8 +739,10 @@ func (b *joinerBolt) onTick(out *engine.Collector) {
 		},
 	})
 	b.probesInterval = 0
-	b.probePrev = b.probeCur
-	b.probeCur = make(map[stream.Key]int64)
+	// Swap-and-clear instead of a fresh map: the interval maps are hot on
+	// every tick and their buckets are reusable as-is.
+	b.probePrev, b.probeCur = b.probeCur, b.probePrev
+	clear(b.probeCur)
 }
 
 // keyStats assembles the per-key statistics for key selection: stored
@@ -698,7 +752,8 @@ func (b *joinerBolt) onTick(out *engine.Collector) {
 // per-key benefits and its capacity (L_i - L_j) would be on different
 // scales and GreedyFit would systematically over-select.
 func (b *joinerBolt) keyStats(aggregateProbe int64) []core.KeyStat {
-	probe := make(map[stream.Key]int64, len(b.probePrev)+len(b.probeCur))
+	probe := b.probeMerge
+	clear(probe)
 	var rawTotal int64
 	for k, c := range b.probePrev {
 		probe[k] += c
@@ -717,16 +772,21 @@ func (b *joinerBolt) keyStats(aggregateProbe int64) []core.KeyStat {
 	// of hundreds of noise keys and starve the keys that actually carry
 	// load out of the knapsack.
 	scaled := func(c int64) int64 { return int64(float64(c) * scale) }
-	stats := make([]core.KeyStat, 0, b.store.Keys()+len(probe))
-	b.store.ForEachKey(func(k stream.Key, count int) {
-		stats = append(stats, core.KeyStat{Key: k, Stored: int64(count), Probe: scaled(probe[k])})
-		delete(probe, k)
-	})
+	// Stored counts come through the reusable AppendKeyCounts scratch
+	// instead of a per-call snapshot map; statScratch is handed to the
+	// selector, which copies what it keeps (see the field comment).
+	b.kcScratch = b.store.AppendKeyCounts(b.kcScratch[:0])
+	stats := b.statScratch[:0]
+	for _, kc := range b.kcScratch {
+		stats = append(stats, core.KeyStat{Key: kc.Key, Stored: int64(kc.Count), Probe: scaled(probe[kc.Key])})
+		delete(probe, kc.Key)
+	}
 	for k, c := range probe {
 		// Probe-only keys: no stored tuples yet, but routing them away
 		// still moves probe load.
 		stats = append(stats, core.KeyStat{Key: k, Stored: 0, Probe: scaled(c)})
 	}
+	b.statScratch = stats
 	return stats
 }
 

@@ -7,6 +7,8 @@
 package biclique
 
 import (
+	"sync"
+
 	"fastjoin/internal/core"
 	"fastjoin/internal/stream"
 )
@@ -76,6 +78,35 @@ type TupleBatch struct {
 // The slice is handed off on emit and never reused.
 type ShuffleBatch struct {
 	Tuples []stream.Tuple
+}
+
+// PairBatch carries matched pairs from a joiner to the sink as a single
+// pooled message. Unlike the tuple batches, PairBatch IS recycled: the sink
+// is the sole subscriber of the results stream and returns each drained
+// batch to the pool, and the chaos classifier pins the type to ClassData,
+// which no profile drops or duplicates — so exactly one consumer ever sees
+// a batch before it is reused. (Recycling a type a profile could duplicate
+// would let the second delivery observe a reused buffer.)
+type PairBatch struct {
+	Pairs []stream.JoinedPair
+}
+
+// pairBatchCap is the flush threshold of a joiner's result batch; a probe
+// on a hot key spills into multiple batches.
+const pairBatchCap = 256
+
+var pairPool = sync.Pool{New: func() any {
+	return &PairBatch{Pairs: make([]stream.JoinedPair, 0, pairBatchCap)}
+}}
+
+func getPairBatch() *PairBatch { return pairPool.Get().(*PairBatch) }
+
+// putPairBatch recycles a drained batch, dropping payload references so the
+// pool does not pin the joined tuples alive.
+func putPairBatch(b *PairBatch) {
+	clear(b.Pairs)
+	b.Pairs = b.Pairs[:0]
+	pairPool.Put(b)
 }
 
 // LoadReport is the periodic statistic a join instance sends to its side's

@@ -30,6 +30,10 @@ type monitorBolt struct {
 	mon    *core.Monitor
 	latest map[int]core.InstanceLoad
 
+	// loadScratch is the tick's load-table snapshot, reused across ticks:
+	// Imbalance, RecordLoads, and Evaluate all copy what they keep.
+	loadScratch []core.InstanceLoad
+
 	triggeredAt time.Time
 }
 
@@ -65,12 +69,13 @@ func (b *monitorBolt) onTick(out *engine.Collector) {
 	if len(b.latest) < b.cfg.JoinersPerSide {
 		return // not all instances have reported yet
 	}
-	loads := make([]core.InstanceLoad, 0, len(b.latest))
+	loads := b.loadScratch[:0]
 	var total int64
 	for _, l := range b.latest {
 		loads = append(loads, l)
 		total += l.Load()
 	}
+	b.loadScratch = loads
 	if total == 0 {
 		return // idle system; LI is degenerate
 	}
@@ -119,13 +124,23 @@ func newSinkFactory(cfg *Config, met *SystemMetrics) engine.BoltFactory {
 func (b *sinkBolt) Prepare(engine.Context, *engine.Collector) {}
 
 func (b *sinkBolt) Execute(m engine.Message, _ *engine.Collector) {
-	pair, ok := m.Value.(stream.JoinedPair)
-	if !ok {
-		return
-	}
-	b.met.Results.Mark(1)
-	if b.cfg.OnResult != nil {
-		b.cfg.OnResult(pair)
+	switch v := m.Value.(type) {
+	case *PairBatch:
+		b.met.Results.Mark(int64(len(v.Pairs)))
+		if b.cfg.OnResult != nil {
+			for i := range v.Pairs {
+				b.cfg.OnResult(v.Pairs[i])
+			}
+		}
+		// The batch is drained; recycle it for the joiners.
+		putPairBatch(v)
+	case stream.JoinedPair:
+		// Legacy single-pair delivery, kept for tests that feed the sink
+		// directly.
+		b.met.Results.Mark(1)
+		if b.cfg.OnResult != nil {
+			b.cfg.OnResult(v)
+		}
 	}
 }
 

@@ -1,0 +1,42 @@
+package biclique
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosStoreDifferential is the store differential at full-system
+// scale: every chaos profile runs with each window-store implementation
+// explicitly pinned, and each run must emit exactly the brute-force
+// reference pair set. TestChaosDifferential already exercises the default
+// (chunked) store; this matrix adds the map reference and makes the A/B
+// explicit, so a semantics bug in the arena layout — under migration,
+// rollback, and replay — cannot hide behind the system default. The name
+// matches `make chaos`'s -run 'Chaos' filter.
+func TestChaosStoreDifferential(t *testing.T) {
+	profiles := []string{"droponly", "delayonly", "duponly", "mixed"}
+	impls := []struct {
+		name string
+		impl StoreImpl
+	}{
+		{"chunked", StoreChunked},
+		{"map", StoreMap},
+	}
+	seeds := 2
+	if testing.Short() {
+		seeds = 1
+	}
+	for _, profile := range profiles {
+		for _, si := range impls {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				profile, si, seed := profile, si, seed
+				t.Run(fmt.Sprintf("%s/%s/seed=%d", profile, si.name, seed), func(t *testing.T) {
+					t.Parallel()
+					runChaos(t, profile, seed, 2000, func(cfg *Config) {
+						cfg.StoreImpl = si.impl
+					})
+				})
+			}
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package biclique
 
 import (
+	"runtime"
 	"sync"
+	"time"
 
 	"fastjoin/internal/core"
 	"fastjoin/internal/metrics"
@@ -45,6 +47,11 @@ type SystemMetrics struct {
 	// here instead of polluting the Latency histogram.
 	ReplayedTuples *metrics.Meter
 
+	// gcBase is the runtime memory state captured at NewSystemMetrics;
+	// RuntimeSample reports GC activity as deltas against it so the numbers
+	// isolate this system's run, not the whole process lifetime.
+	gcBase runtime.MemStats
+
 	mu sync.Mutex
 	// liSeries records the real-time degree of load imbalance per side
 	// (Fig. 11); loadSeries records each instance's load over time
@@ -52,6 +59,22 @@ type SystemMetrics struct {
 	liSeries   [2]*metrics.TimeSeries
 	loadSeries [2][]*metrics.TimeSeries
 	migLog     []MigrationEvent
+}
+
+// RuntimeSample is a point-in-time view of the process heap and the GC
+// activity accumulated since the system's metrics were created. The store
+// rework trades map/slice churn for arena reuse; these gauges make that win
+// observable end to end (the bench harness reports them per run).
+type RuntimeSample struct {
+	// HeapAllocBytes is the live heap at sampling time.
+	HeapAllocBytes uint64
+	// AllocBytes is the cumulative bytes allocated since NewSystemMetrics.
+	AllocBytes uint64
+	// GCCycles is the number of GC cycles completed since NewSystemMetrics.
+	GCCycles uint32
+	// GCPauseTotal is the total stop-the-world pause accumulated since
+	// NewSystemMetrics.
+	GCPauseTotal time.Duration
 }
 
 // MigrationEvent records one completed migration for diagnostics.
@@ -80,7 +103,22 @@ func NewSystemMetrics(joinersPerSide int) *SystemMetrics {
 			m.loadSeries[side][i] = &metrics.TimeSeries{}
 		}
 	}
+	runtime.ReadMemStats(&m.gcBase)
 	return m
+}
+
+// RuntimeSample reads the current runtime memory state, reporting GC
+// activity as deltas since NewSystemMetrics. ReadMemStats stops the world
+// briefly; callers sample at reporting boundaries, not per tuple.
+func (m *SystemMetrics) RuntimeSample() RuntimeSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeSample{
+		HeapAllocBytes: ms.HeapAlloc,
+		AllocBytes:     ms.TotalAlloc - m.gcBase.TotalAlloc,
+		GCCycles:       ms.NumGC - m.gcBase.NumGC,
+		GCPauseTotal:   time.Duration(ms.PauseTotalNs - m.gcBase.PauseTotalNs),
+	}
 }
 
 // RecordImbalance appends one LI observation for a side.

@@ -1,0 +1,88 @@
+package window
+
+import (
+	"testing"
+
+	"fastjoin/internal/stream"
+)
+
+// Store micro-benchmarks: chunked arena vs map reference on the three hot
+// operations. Run with
+//
+//	go test ./internal/window -bench 'BenchmarkStore' -benchmem
+//
+// Add and Advance are the paths the arena exists for (amortized zero-alloc
+// append, O(expired) expiry); Probe shows the chunk walk against the slice
+// scan.
+func benchStores(b *testing.B, run func(b *testing.B, mk func() Store)) {
+	b.Run("chunked", func(b *testing.B) {
+		run(b, func() Store { return NewWindowed(1_000_000, 8) })
+	})
+	b.Run("map", func(b *testing.B) {
+		run(b, func() Store { return NewRefWindowed(1_000_000, 8) })
+	})
+}
+
+func BenchmarkStoreAdd(b *testing.B) {
+	benchStores(b, func(b *testing.B, mk func() Store) {
+		const keys = 1024
+		w := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Add(stream.Tuple{Key: stream.Key(i % keys), Seq: uint64(i), EventTime: int64(i)})
+			// Bound resident state so the benchmark measures steady-state adds,
+			// not unbounded growth: expire in bulk every 64k tuples.
+			if i%65536 == 65535 {
+				w.Advance(int64(i) - 32768)
+			}
+		}
+	})
+}
+
+func BenchmarkStoreProbe(b *testing.B) {
+	benchStores(b, func(b *testing.B, mk func() Store) {
+		const keys = 256
+		w := mk()
+		for i := 0; i < keys*64; i++ {
+			w.Add(stream.Tuple{Key: stream.Key(i % keys), Seq: uint64(i), EventTime: int64(i)})
+		}
+		var sink uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.ForEachMatch(stream.Key(i%keys), func(tu stream.Tuple) { sink += tu.Seq })
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkStoreAdvance(b *testing.B) {
+	benchStores(b, func(b *testing.B, mk func() Store) {
+		// Steady state: each iteration adds a fixed batch with fresh event
+		// times and expires an equally old one, so Advance always has real
+		// work plus a large resident population it must NOT scan.
+		const keys = 2048
+		const batch = 64
+		w := mk()
+		var seq uint64
+		now := int64(0)
+		fill := func(at int64) {
+			for j := 0; j < batch; j++ {
+				seq++
+				w.Add(stream.Tuple{Key: stream.Key(seq % keys), Seq: seq, EventTime: at})
+			}
+		}
+		for i := 0; i < 1024; i++ {
+			now += 10
+			fill(now)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += 10
+			fill(now)
+			w.Advance(now - 1024*10)
+		}
+	})
+}

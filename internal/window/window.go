@@ -4,6 +4,17 @@
 // sub-window counters records |R| per sub-window so that expiring the oldest
 // sub-window pops the head of the vector.
 //
+// Two implementations back the Store interface:
+//
+//   - the chunked arena store (New/NewWindowed, the default): per-key deques
+//     are linked chains of fixed-size chunks carved from store-owned slabs
+//     and recycled through per-class freelists, indexed by an open-addressing
+//     uint64 table, with an event-time min-heap making Advance O(expired).
+//     See DESIGN.md "Store memory layout".
+//   - the map-based reference store (NewRef/NewRefWindowed): the original
+//     map[Key][]Tuple layout, kept as the differential-testing oracle and as
+//     the A/B baseline for the bench `store` experiment.
+//
 // A Store belongs to exactly one join-instance goroutine and is therefore
 // not safe for concurrent use; the owning joiner serializes all access.
 package window
@@ -12,219 +23,172 @@ import (
 	"fastjoin/internal/stream"
 )
 
+// KeyCount is one key's stored-tuple count, as appended by AppendKeyCounts.
+type KeyCount struct {
+	Key   stream.Key
+	Count int
+}
+
 // Store holds the stored tuples of one join instance for one stream.
 //
 // With span <= 0 the store is unbounded (full-history join, the default mode
 // of the join-biclique model). With span > 0 the store keeps only tuples
 // whose event time is within the last span nanoseconds, tracked in subCount
 // sub-windows as the paper describes.
-type Store struct {
-	span     int64 // window span in nanoseconds; <= 0 means unbounded
+type Store interface {
+	// Windowed reports whether the store expires tuples.
+	Windowed() bool
+	// Span returns the window span in nanoseconds (0 when unbounded).
+	Span() int64
+	// Add stores one tuple.
+	Add(t stream.Tuple)
+	// AddBulk stores a batch of tuples for one key, as the target of a key
+	// migration does when receiving the moved tuples.
+	AddBulk(tuples []stream.Tuple)
+	// Len returns the total number of stored tuples (the paper's |R_i|).
+	Len() int
+	// KeyCount returns the number of stored tuples with the given key (|R_ik|).
+	KeyCount(key stream.Key) int
+	// Keys returns the number of distinct keys currently stored (K in Table I).
+	Keys() int
+	// ForEachKey calls fn for every stored key with its tuple count.
+	// Iteration order is unspecified. fn must not mutate the store.
+	ForEachKey(fn func(key stream.Key, count int))
+	// ForEachMatch calls fn for every stored tuple with the given key, in
+	// insertion order. This is the probe path of the join. fn must not
+	// mutate the store.
+	ForEachMatch(key stream.Key, fn func(t stream.Tuple))
+	// Matches returns a copy of the stored tuples with the given key.
+	Matches(key stream.Key) []stream.Tuple
+	// RemoveKey removes and returns all tuples with the given key, as the
+	// source of a key migration does when extracting the tuples to move
+	// (Algorithm 2, lines 3-8). The returned slice is freshly allocated and
+	// owned by the caller — in the chunked store the backing chunks are
+	// recycled immediately, so tuples MUST be copied out of the arena here.
+	// The sub-window vector is left untouched — the removed tuples simply
+	// no longer exist when their sub-window expires — so the vector remains
+	// an upper bound on residency, matching the paper's per-instance
+	// bookkeeping.
+	RemoveKey(key stream.Key) []stream.Tuple
+	// Advance expires every stored tuple whose event time is older than
+	// now - span, popping complete sub-windows off the head of the
+	// sub-window vector. It returns the number of tuples removed. Advance
+	// is a no-op for unbounded stores.
+	Advance(now int64) int
+	// SubWindows returns a copy of the sub-window vector (oldest first).
+	// Tests and the monitor use it; an unbounded store returns nil.
+	SubWindows() []int
+	// PerKeyCounts returns a snapshot map of key -> stored-tuple count.
+	// It allocates; the hot monitor/migration path uses AppendKeyCounts.
+	PerKeyCounts() map[stream.Key]int
+	// AppendKeyCounts appends every stored key with its tuple count to dst
+	// and returns the extended slice, allocating only when dst lacks
+	// capacity. Callers reuse the returned slice across ticks.
+	AppendKeyCounts(dst []KeyCount) []KeyCount
+	// AdvanceVisited returns the cumulative number of keys Advance has
+	// examined over the store's lifetime. Regression tests use it to pin
+	// the O(expired) early-exit behaviour.
+	AdvanceVisited() int
+}
+
+// New returns an unbounded (full-history) chunked arena store.
+func New() Store {
+	return &chunkStore{}
+}
+
+// NewWindowed returns a chunked arena store with the given window span,
+// divided into subCount sub-windows. span must be positive and subCount >= 1.
+func NewWindowed(span int64, subCount int) Store {
+	s := &chunkStore{span: span}
+	s.sub.init(span, subCount)
+	return s
+}
+
+// NewRef returns an unbounded (full-history) map-based reference store.
+func NewRef() Store {
+	return &refStore{perKey: make(map[stream.Key][]stream.Tuple)}
+}
+
+// NewRefWindowed returns a map-based reference store with the given window
+// span, divided into subCount sub-windows.
+func NewRefWindowed(span int64, subCount int) Store {
+	s := &refStore{span: span, perKey: make(map[stream.Key][]stream.Tuple)}
+	s.sub.init(span, subCount)
+	return s
+}
+
+// subVector is the paper's fixed-size sub-window counter vector, shared by
+// both store implementations: subs[i] counts the tuples admitted during
+// sub-window i. The head (oldest) is subs[0]; subStart is the event-time at
+// which subs[len(subs)-1] began.
+type subVector struct {
 	subSpan  int64 // span of one sub-window
 	subCount int
-
-	perKey map[stream.Key][]stream.Tuple
-	total  int
-
-	// subs is the paper's fixed-size vector: subs[i] counts the tuples
-	// admitted during sub-window i. The head (oldest) is subs[0];
-	// subStart is the event-time at which subs[len(subs)-1] began.
 	subs     []int
 	subStart int64
 }
 
-// New returns an unbounded (full-history) store.
-func New() *Store {
-	return &Store{perKey: make(map[stream.Key][]stream.Tuple)}
-}
-
-// NewWindowed returns a store with the given window span, divided into
-// subCount sub-windows. span must be positive and subCount >= 1.
-func NewWindowed(span int64, subCount int) *Store {
+func (v *subVector) init(span int64, subCount int) {
 	if span <= 0 {
 		panic("window: span must be positive") //lint:allow panicpath constructor contract; biclique.Config.Validate supplies valid spans
 	}
 	if subCount < 1 {
 		panic("window: subCount must be >= 1") //lint:allow panicpath constructor contract; biclique.Config.Validate supplies valid sub-window counts
 	}
-	return &Store{
-		span:     span,
-		subSpan:  span / int64(subCount),
-		subCount: subCount,
-		perKey:   make(map[stream.Key][]stream.Tuple),
-	}
+	v.subSpan = span / int64(subCount)
+	v.subCount = subCount
 }
 
-// Windowed reports whether the store expires tuples.
-func (s *Store) Windowed() bool { return s.span > 0 }
-
-// Span returns the window span in nanoseconds (0 when unbounded).
-func (s *Store) Span() int64 {
-	if s.span <= 0 {
-		return 0
-	}
-	return s.span
-}
-
-// Add stores one tuple.
-func (s *Store) Add(t stream.Tuple) {
-	s.perKey[t.Key] = append(s.perKey[t.Key], t)
-	s.total++
-	if s.span > 0 {
-		s.bumpSub(t.EventTime)
-	}
-}
-
-// bumpSub advances the sub-window vector to cover eventTime and increments
+// bump advances the sub-window vector to cover eventTime and increments
 // the current (newest) sub-window counter. The advance is arithmetic — one
 // division, not one append per elapsed subSpan — and the vector is capped
 // at subCount live sub-windows (the paper's fixed-size vector): a single
 // tuple after a large event-time gap, or a far-future outlier, must not
 // grow subs by millions of entries and stall the joiner.
-func (s *Store) bumpSub(eventTime int64) {
-	if len(s.subs) == 0 {
-		s.subs = append(s.subs, 0)
-		s.subStart = eventTime
+func (v *subVector) bump(eventTime int64) {
+	if len(v.subs) == 0 {
+		v.subs = append(v.subs, 0)
+		v.subStart = eventTime
 	}
-	if eventTime >= s.subStart+s.subSpan {
-		steps := (eventTime - s.subStart) / s.subSpan
-		s.subStart += steps * s.subSpan
-		if steps >= int64(s.subCount) {
+	if eventTime >= v.subStart+v.subSpan {
+		steps := (eventTime - v.subStart) / v.subSpan
+		v.subStart += steps * v.subSpan
+		if steps >= int64(v.subCount) {
 			// The gap swallows every live sub-window: restart the vector at
 			// the new position instead of materializing the empty middle.
-			s.subs = append(s.subs[:0], 0)
+			v.subs = append(v.subs[:0], 0)
 		} else {
 			for i := int64(0); i < steps; i++ {
-				s.subs = append(s.subs, 0)
+				v.subs = append(v.subs, 0)
 			}
-			if excess := len(s.subs) - s.subCount; excess > 0 {
+			if excess := len(v.subs) - v.subCount; excess > 0 {
 				// Anything pushed past subCount has expired by definition of
 				// the window; drop it from the head. (Advance reclaims the
 				// tuples themselves on its own wall-clock schedule.)
-				s.subs = s.subs[excess:]
+				v.subs = v.subs[excess:]
 			}
 		}
 	}
-	s.subs[len(s.subs)-1]++
+	v.subs[len(v.subs)-1]++
 }
 
-// AddBulk stores a batch of tuples for one key, as the target of a key
-// migration does when receiving the moved tuples.
-func (s *Store) AddBulk(tuples []stream.Tuple) {
-	for _, t := range tuples {
-		s.Add(t)
-	}
-}
-
-// Len returns the total number of stored tuples (the paper's |R_i|).
-func (s *Store) Len() int { return s.total }
-
-// KeyCount returns the number of stored tuples with the given key (|R_ik|).
-func (s *Store) KeyCount(key stream.Key) int { return len(s.perKey[key]) }
-
-// Keys returns the number of distinct keys currently stored (K in Table I).
-func (s *Store) Keys() int { return len(s.perKey) }
-
-// ForEachKey calls fn for every stored key with its tuple count. Iteration
-// order is unspecified. fn must not mutate the store.
-func (s *Store) ForEachKey(fn func(key stream.Key, count int)) {
-	for k, tuples := range s.perKey {
-		fn(k, len(tuples))
-	}
-}
-
-// ForEachMatch calls fn for every stored tuple with the given key, in
-// insertion order. This is the probe path of the join. fn must not mutate
-// the store.
-func (s *Store) ForEachMatch(key stream.Key, fn func(t stream.Tuple)) {
-	for _, t := range s.perKey[key] {
-		fn(t)
-	}
-}
-
-// Matches returns a copy of the stored tuples with the given key.
-func (s *Store) Matches(key stream.Key) []stream.Tuple {
-	src := s.perKey[key]
-	if len(src) == 0 {
-		return nil
-	}
-	out := make([]stream.Tuple, len(src))
-	copy(out, src)
-	return out
-}
-
-// RemoveKey removes and returns all tuples with the given key, as the
-// source of a key migration does when extracting the tuples to move
-// (Algorithm 2, lines 3-8). The sub-window vector is left untouched — the
-// removed tuples simply no longer exist when their sub-window expires —
-// so the vector remains an upper bound on residency, matching the paper's
-// per-instance bookkeeping ("we just need to decrease the value which
-// stores |R| when the expired tuples are removed").
-func (s *Store) RemoveKey(key stream.Key) []stream.Tuple {
-	tuples, ok := s.perKey[key]
-	if !ok {
-		return nil
-	}
-	delete(s.perKey, key)
-	s.total -= len(tuples)
-	return tuples
-}
-
-// Advance expires every stored tuple whose event time is older than
-// now - span, popping complete sub-windows off the head of the sub-window
-// vector. It returns the number of tuples removed. Advance is a no-op for
-// unbounded stores.
-func (s *Store) Advance(now int64) int {
-	if s.span <= 0 {
-		return 0
-	}
-	cutoff := now - s.span
-	removed := 0
-	for key, tuples := range s.perKey {
-		i := 0
-		for i < len(tuples) && tuples[i].EventTime < cutoff {
-			i++
-		}
-		if i == 0 {
-			continue
-		}
-		removed += i
-		if i == len(tuples) {
-			delete(s.perKey, key)
-		} else {
-			s.perKey[key] = tuples[i:]
-		}
-	}
-	s.total -= removed
-
-	// Pop expired sub-windows off the head of the vector.
-	for len(s.subs) > 0 {
-		headEnd := s.subStart - int64(len(s.subs)-1)*s.subSpan + s.subSpan
+// pop drops expired sub-windows off the head of the vector.
+func (v *subVector) pop(cutoff int64) {
+	for len(v.subs) > 0 {
+		headEnd := v.subStart - int64(len(v.subs)-1)*v.subSpan + v.subSpan
 		if headEnd >= cutoff {
 			break
 		}
-		s.subs = s.subs[1:]
+		v.subs = v.subs[1:]
 	}
-	return removed
 }
 
-// SubWindows returns a copy of the sub-window vector (oldest first). Tests
-// and the monitor use it; an unbounded store returns nil.
-func (s *Store) SubWindows() []int {
-	if len(s.subs) == 0 {
+// snapshot returns a copy of the vector (oldest first), nil when empty.
+func (v *subVector) snapshot() []int {
+	if len(v.subs) == 0 {
 		return nil
 	}
-	out := make([]int, len(s.subs))
-	copy(out, s.subs)
-	return out
-}
-
-// PerKeyCounts returns a snapshot map of key -> stored-tuple count, used by
-// the migration source to run the key selection algorithm.
-func (s *Store) PerKeyCounts() map[stream.Key]int {
-	out := make(map[stream.Key]int, len(s.perKey))
-	for k, tuples := range s.perKey {
-		out[k] = len(tuples)
-	}
+	out := make([]int, len(v.subs))
+	copy(out, v.subs)
 	return out
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Allocation ceiling gate.
+#
+# Runs the data-plane allocation benchmark (BenchmarkDataPlaneBatch32: one
+# full dispatcher→shuffler→joiner run per op, chunked store, default batch
+# size) and enforces that allocs/op stays at or below the checked-in
+# ceiling in ci/alloc_ceiling.txt. The ceiling was set from the measured
+# steady state (~25k allocs/op) plus headroom for CI jitter; the pre-arena
+# tree measured ~51k. Alloc counts are deterministic enough that a breach
+# means a real regression — a new per-tuple or per-pair allocation on the
+# hot path — not noise. Lowering the ceiling after an optimization is
+# encouraged; raising it needs a very good reason in the commit message.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(go test -run='^$' -bench 'BenchmarkDataPlaneBatch32$' -benchtime=10x -benchmem ./internal/biclique)"
+echo "$out"
+
+allocs=$(echo "$out" | awk '/^BenchmarkDataPlaneBatch32/ {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
+ceiling=$(grep -v '^#' ci/alloc_ceiling.txt | head -n1)
+
+if [ -z "$allocs" ]; then
+  echo "alloc gate FAILED: could not parse allocs/op from benchmark output" >&2
+  exit 1
+fi
+
+echo
+echo "data-plane allocs/op: ${allocs} (ceiling ${ceiling})"
+if [ "$allocs" -gt "$ceiling" ]; then
+  echo "alloc gate FAILED: ${allocs} allocs/op > ceiling ${ceiling}" >&2
+  exit 1
+fi
+echo "alloc gate OK"
