@@ -9,7 +9,7 @@ RACE_FAST_PKGS = ./internal/engine ./internal/biclique ./internal/transport
 CHAOS_RUNS ?= 50
 FUZZTIME   ?= 20s
 
-.PHONY: build test lint vet race race-fast bench bench-smoke chaos fuzz-short cover ci
+.PHONY: build test lint vet race race-fast bench bench-smoke obs-smoke chaos fuzz-short cover ci
 
 build:
 	$(GO) build $(PKGS)
@@ -49,6 +49,13 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench 'BenchmarkDataPlane' -benchtime=3x ./internal/biclique
 	./scripts/alloc_gate.sh
 
+## obs-smoke: boot a real join server with the observability endpoint,
+## stream a workload at it, and scrape /metrics and /stats.json mid-run,
+## asserting the per-instance load gauges, engine queue gauges, and
+## migration counters are all exposed (scripts/obs_smoke.sh).
+obs-smoke:
+	./scripts/obs_smoke.sh
+
 ## chaos: the seeded fault-injection sweep under the race detector. Every
 ## run must produce the exact brute-force join result or a cleanly
 ## reported abort; replay a failure with
@@ -71,4 +78,4 @@ cover:
 	./scripts/coverage_gate.sh
 
 ## ci: everything the CI workflow gates on. `lint` includes go vet.
-ci: build lint test race
+ci: build lint test race obs-smoke

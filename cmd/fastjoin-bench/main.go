@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"fastjoin"
 	"fastjoin/internal/bench"
 )
 
@@ -42,8 +43,21 @@ func main() {
 
 		chaosProfile = flag.String("chaos", "", "fault drill: chaos profile (none, droponly, delayonly, duponly, mixed, abortstorm)")
 		chaosSeed    = flag.Int64("chaos.seed", 1, "chaos injector seed (a drill replays exactly per seed)")
+
+		observe = flag.String("observe", "", "observability endpoint address for every run (e.g. 127.0.0.1:9144; serves /metrics, /stats.json, /trace.json, /debug/pprof)")
 	)
 	flag.Parse()
+
+	store, err := fastjoin.ParseStoreKind(*storeImpl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	chaos, err := fastjoin.ParseChaosProfile(*chaosProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -65,13 +79,14 @@ func main() {
 		Seed:        *seed,
 		BatchSize:   *batchSize,
 		BatchLinger: *batchLinger,
-		Store:       *storeImpl,
+		Store:       store,
 		Quick:       *quick,
 
-		ChaosProfile: *chaosProfile,
+		ChaosProfile: chaos,
 		ChaosSeed:    *chaosSeed,
+		Observe:      *observe,
 	}
-	if p.ChaosProfile != "" && p.ChaosProfile != "none" {
+	if p.ChaosProfile != fastjoin.ChaosNone {
 		fmt.Printf("fault drill: chaos profile %q seed %d\n", p.ChaosProfile, p.ChaosSeed)
 	}
 

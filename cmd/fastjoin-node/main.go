@@ -14,9 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fastjoin"
@@ -31,6 +35,7 @@ func main() {
 		joiners = flag.Int("joiners", 8, "server mode: join instances per side")
 		kind    = flag.String("system", "fastjoin", "server mode: fastjoin | bistream | contrand")
 		theta   = flag.Float64("theta", 2.2, "server mode: load imbalance threshold Θ")
+		observe = flag.String("observe", "", "server mode: observability endpoint address (e.g. :9144; serves /metrics, /stats.json, /trace.json, /debug/pprof)")
 
 		connect = flag.String("connect", "", "client mode: server address to stream to")
 		wl      = flag.String("workload", "ridehailing", "client mode: ridehailing | zipf")
@@ -46,7 +51,7 @@ func main() {
 	case *listen != "" && *connect != "":
 		fatal(fmt.Errorf("choose one of -listen or -connect"))
 	case *listen != "":
-		serve(*listen, *ingest, *joiners, *kind, *theta)
+		serve(*listen, *ingest, *joiners, *kind, *theta, *observe)
 	case *connect != "":
 		feed(*connect, *wl, *tuples, *rate, *zipfR, *zipfS, *seed)
 	default:
@@ -55,7 +60,7 @@ func main() {
 	}
 }
 
-func serve(addr string, ingest, joiners int, kindName string, theta float64) {
+func serve(addr string, ingest, joiners int, kindName string, theta float64, observe string) {
 	var kind fastjoin.Kind
 	switch kindName {
 	case "fastjoin":
@@ -83,18 +88,27 @@ func serve(addr string, ingest, joiners int, kindName string, theta float64) {
 	defer closeConns()
 
 	sys, err := fastjoin.New(fastjoin.Options{
-		Kind:    kind,
-		Joiners: joiners,
-		Theta:   theta,
-		Sources: sources,
+		Kind:      kind,
+		Joiners:   joiners,
+		Migration: fastjoin.MigrationOptions{Theta: theta},
+		Observe:   fastjoin.ObserveOptions{Addr: observe},
+		Sources:   sources,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	if oa := sys.ObserveAddr(); oa != "" {
+		fmt.Printf("observability endpoint on http://%s/metrics\n", oa)
+	}
 	fmt.Println("ingesting...")
 
+	// SIGINT/SIGTERM cancels the wait; the system then drains what is in
+	// flight and reports the partial run instead of dying mid-migration.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	done := make(chan error, 1)
-	go func() { done <- sys.WaitComplete(24 * time.Hour) }()
+	go func() { done <- sys.WaitCompleteCtx(ctx) }()
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 	for {
@@ -104,11 +118,20 @@ func serve(addr string, ingest, joiners int, kindName string, theta float64) {
 			fmt.Printf("  ingested=%d results=%d (%.0f/s) latency=%.0fµs migrations=%d\n",
 				sys.Ingested(), st.Results, sys.ThroughputTick(), st.LatencyMeanUs, st.Migrations)
 		case err := <-done:
-			if err != nil {
+			switch {
+			case err == nil:
+				fmt.Println("all clients finished.")
+			case errors.Is(err, context.Canceled):
+				fmt.Println("interrupted; draining...")
+				drainCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+				if derr := sys.DrainCtx(drainCtx); derr != nil {
+					fmt.Fprintln(os.Stderr, "fastjoin-node: drain:", derr)
+				}
+				stop()
+			default:
 				fatal(err)
 			}
 			sys.Stop()
-			fmt.Println("all clients finished.")
 			fmt.Println(sys.Stats())
 			return
 		}

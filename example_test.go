@@ -111,6 +111,38 @@ func ExampleNewZipfWorkload() {
 	// Output: generated: 1000
 }
 
+// ExampleOptions_Validate shows the nested configuration groups and how
+// Validate normalizes defaults: callers may invoke it directly to inspect
+// the effective configuration New would run with.
+func ExampleOptions_Validate() {
+	opts := fastjoin.Options{
+		Kind: fastjoin.KindFastJoin,
+		Migration: fastjoin.MigrationOptions{
+			Theta:        2.5,
+			AbortTimeout: 2 * time.Second,
+		},
+		Windowing: fastjoin.WindowOptions{Span: 10 * time.Second},
+		Observe:   fastjoin.ObserveOptions{Addr: ":9144"},
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("theta:", opts.Migration.Theta)
+	fmt.Println("cooldown:", opts.Migration.Cooldown)
+	fmt.Println("sub-windows:", opts.Windowing.SubWindows)
+	fmt.Println("batch size:", opts.Batching.Size)
+	fmt.Println("store:", opts.StoreKind)
+	fmt.Println("trace capacity:", opts.Observe.TraceCapacity)
+	// Output:
+	// theta: 2.5
+	// cooldown: 1s
+	// sub-windows: 8
+	// batch size: 32
+	// store: chunked
+	// trace capacity: 4096
+}
+
 // ExampleKind_String shows the system names used across the evaluation.
 func ExampleKind_String() {
 	for _, k := range fastjoin.AllKinds() {

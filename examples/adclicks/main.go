@@ -40,8 +40,10 @@ func main() {
 		Joiners:   *joiners,
 		Sources:   w.Sources,
 		Predicate: sameSession,
-		Theta:     1.8,
-		Cooldown:  150 * time.Millisecond,
+		Migration: fastjoin.MigrationOptions{
+			Theta:    1.8,
+			Cooldown: 150 * time.Millisecond,
+		},
 		OnResult: func(p fastjoin.JoinedPair) {
 			attributed.Add(1)
 		},

@@ -39,9 +39,11 @@ func run(kind fastjoin.Kind, duration time.Duration, joiners, cells int, theta f
 		Kind:          kind,
 		Joiners:       joiners,
 		Sources:       w.Sources,
-		Theta:         theta,
-		Cooldown:      200 * time.Millisecond,
 		StatsInterval: 50 * time.Millisecond,
+		Migration: fastjoin.MigrationOptions{
+			Theta:    theta,
+			Cooldown: 200 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

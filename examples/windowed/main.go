@@ -34,9 +34,11 @@ func main() {
 		Kind:          fastjoin.KindFastJoin,
 		Joiners:       4,
 		Sources:       w.Sources,
-		Window:        *win,
-		SubWindows:    8,
 		StatsInterval: 50 * time.Millisecond,
+		Windowing: fastjoin.WindowOptions{
+			Span:       *win,
+			SubWindows: 8,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

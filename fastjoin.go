@@ -29,6 +29,7 @@
 package fastjoin
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"fastjoin/internal/core"
 	"fastjoin/internal/engine"
 	"fastjoin/internal/metrics"
+	"fastjoin/internal/obs"
 	"fastjoin/internal/stream"
 )
 
@@ -65,7 +67,7 @@ const (
 )
 
 // DefaultBatchSize is the dispatcher batch capacity used when
-// Options.BatchSize is left 0 (see Options.BatchSize).
+// Options.Batching.Size is left 0 (see BatchOptions.Size).
 const DefaultBatchSize = biclique.DefaultBatchSize
 
 // Kind selects which of the paper's systems to run.
@@ -111,108 +113,32 @@ func AllKinds() []Kind {
 	return []Kind{KindFastJoin, KindFastJoinSAFit, KindBiStream, KindBiStreamContRand, KindBroadcast}
 }
 
-// Options configures a join system. Zero values get sensible defaults.
-type Options struct {
-	// Kind selects the system (default KindFastJoin).
-	Kind Kind
-	// Joiners is the number of join instances per biclique side
-	// (default 4; the paper's cluster default is 48).
-	Joiners int
-	// Dispatchers and Shufflers size the dispatching component.
-	Dispatchers int
-	Shufflers   int
-	// Theta is the load imbalance threshold Θ (default 2.2, the paper's).
-	Theta float64
-	// Cooldown is the minimum time between migrations (default 1s).
-	Cooldown time.Duration
-	// SustainTicks is how many consecutive monitor evaluations must see
-	// LI > Theta before a migration triggers (default 3); 1 disables the
-	// hysteresis.
-	SustainTicks int
-	// StatsInterval is the load-report/monitor period (default 100ms).
-	StatsInterval time.Duration
-	// MinBenefit is GreedyFit's θ_gap.
-	MinBenefit int64
-	// SubgroupSize is ContRand's subgroup size (default 2).
-	SubgroupSize int
-	// Window enables window-based join with the given span (0 = full
-	// history); SubWindows is the sub-window count (default 8).
-	Window     time.Duration
-	SubWindows int
-	// Predicate optionally refines key-equality matches.
-	Predicate Predicate
-	// PreProcess, when set, rewrites every tuple before dispatching (the
-	// pre-processing unit's user-defined function). Must be safe for
-	// concurrent use.
-	PreProcess func(Tuple) Tuple
-	// OnResult, when set, receives every joined pair (result emission
-	// mode). When nil the system only counts pairs — the high-throughput
-	// mode benchmarks use.
-	OnResult func(JoinedPair)
-	// Sources feed the system; one ingestion task per source. Required.
-	Sources []TupleSource
-	// QueueSize bounds each task's input queue (backpressure; default 1024).
-	QueueSize int
-	// BatchSize is the dispatcher's per-(stream, target) batch capacity:
-	// up to BatchSize routed tuples travel as one message through the data
-	// plane. 0 means the default (biclique.DefaultBatchSize, currently 32);
-	// 1 disables batching (one message per tuple copy, the A/B baseline).
-	BatchSize int
-	// BatchLinger bounds how long a partially filled batch may wait in a
-	// busy dispatcher before a tick flushes it (default 2ms; only
-	// meaningful when batching is enabled).
-	BatchLinger time.Duration
-	// ServiceRate, when positive, emulates per-node compute capacity:
-	// each join instance is limited to ServiceRate virtual ops/second
-	// (1 op per store, 1 + MatchCost per scanned tuple per probe). The
-	// benchmark harness uses it so cluster-scale behaviour reproduces on
-	// small hosts; 0 disables the emulation.
-	ServiceRate float64
-	// MatchCost is the virtual op cost per scanned stored tuple
-	// (default 0.01 when ServiceRate is set).
-	MatchCost float64
-	// Seed derandomizes placement.
-	Seed uint64
-	// AbortTimeout bounds a migration's marker handshake: if the forward
-	// markers have not all arrived after this long (measured in
-	// StatsInterval ticks), the migration aborts and rolls back to the
-	// pre-migration routing without losing or duplicating results.
-	// 0 disables aborts (a stuck handshake then relies on re-broadcast
-	// alone). Only meaningful for migration-enabled kinds.
-	AbortTimeout time.Duration
-	// ChaosProfile, when non-empty, names a chaos fault-injection profile
-	// (see chaos.Names: "none", "droponly", "delayonly", "duponly",
-	// "mixed", "abortstorm") applied to the engine's delivery edges.
-	// All fault decisions are drawn deterministically from ChaosSeed, so
-	// a run replays exactly. For testing and fault drills only.
-	ChaosProfile string
-	// ChaosSeed seeds the chaos injector's per-lane random streams.
-	ChaosSeed int64
-	// Store selects the join instances' window-store implementation:
-	// "" or "chunked" is the arena store (the default), "map" the
-	// reference map[Key][]Tuple layout kept for A/B benchmarking and
-	// differential testing.
-	Store string
-}
-
 // System is a running stream join system.
 type System struct {
 	kind  Kind
 	sys   *biclique.System
 	chaos *chaos.Injector
+	trace *obs.Tracer
+	obsrv *obs.Server
 }
 
-// New validates the options, builds the topology for the requested system
-// kind and starts it.
+// New validates the options (Options.Validate normalizes every default),
+// builds the topology for the requested system kind and starts it. When
+// Options.Observe.Addr is set, the observability endpoint is bound before
+// the system starts and closed by Stop.
 func New(opts Options) (*System, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	tracer := obs.NewTracer(opts.Observe.TraceCapacity)
 	cfg := biclique.Config{
 		JoinersPerSide: opts.Joiners,
 		Dispatchers:    opts.Dispatchers,
 		Shufflers:      opts.Shufflers,
 		SubgroupSize:   opts.SubgroupSize,
 		StatsInterval:  opts.StatsInterval,
-		Window:         opts.Window,
-		SubWindows:     opts.SubWindows,
+		Window:         opts.Windowing.Span,
+		SubWindows:     opts.Windowing.SubWindows,
 		Predicate:      opts.Predicate,
 		PreProcess:     opts.PreProcess,
 		Sources:        opts.Sources,
@@ -220,19 +146,15 @@ func New(opts Options) (*System, error) {
 		Engine:         engine.Config{QueueSize: opts.QueueSize},
 		ServiceRate:    opts.ServiceRate,
 		MatchCost:      opts.MatchCost,
-		BatchSize:      opts.BatchSize,
-		BatchLinger:    opts.BatchLinger,
+		BatchSize:      opts.Batching.Size,
+		BatchLinger:    opts.Batching.Linger,
+		Tracer:         tracer,
 	}
-	if cfg.JoinersPerSide == 0 {
-		cfg.JoinersPerSide = 4
-	}
-	switch opts.Store {
-	case "", "chunked":
-		cfg.StoreImpl = biclique.StoreChunked
-	case "map":
+	switch opts.StoreKind {
+	case StoreMap:
 		cfg.StoreImpl = biclique.StoreMap
 	default:
-		return nil, fmt.Errorf("fastjoin: unknown store implementation %q (want \"chunked\" or \"map\")", opts.Store)
+		cfg.StoreImpl = biclique.StoreChunked
 	}
 	if opts.OnResult != nil {
 		cfg.EmitResults = true
@@ -240,9 +162,9 @@ func New(opts Options) (*System, error) {
 	}
 
 	policy := core.MonitorPolicy{
-		Theta:        opts.Theta,
-		Cooldown:     opts.Cooldown,
-		SustainTicks: opts.SustainTicks,
+		Theta:        opts.Migration.Theta,
+		Cooldown:     opts.Migration.Cooldown,
+		SustainTicks: opts.Migration.SustainTicks,
 	}
 	switch opts.Kind {
 	case KindFastJoin:
@@ -251,8 +173,8 @@ func New(opts Options) (*System, error) {
 			Enabled:      true,
 			Policy:       policy,
 			Selector:     core.GreedyFit,
-			MinBenefit:   opts.MinBenefit,
-			AbortTimeout: opts.AbortTimeout,
+			MinBenefit:   opts.Migration.MinBenefit,
+			AbortTimeout: opts.Migration.AbortTimeout,
 		}
 	case KindFastJoinSAFit:
 		cfg.Strategy = biclique.StrategyHash
@@ -262,8 +184,8 @@ func New(opts Options) (*System, error) {
 			Enabled:      true,
 			Policy:       policy,
 			Selector:     core.SAFitSelector(sa),
-			MinBenefit:   opts.MinBenefit,
-			AbortTimeout: opts.AbortTimeout,
+			MinBenefit:   opts.Migration.MinBenefit,
+			AbortTimeout: opts.Migration.AbortTimeout,
 		}
 	case KindBiStream:
 		cfg.Strategy = biclique.StrategyHash
@@ -276,12 +198,12 @@ func New(opts Options) (*System, error) {
 	}
 
 	var inj *chaos.Injector
-	if opts.ChaosProfile != "" {
-		profile, err := chaos.Lookup(opts.ChaosProfile)
+	if opts.Chaos.Profile != ChaosNone {
+		profile, err := chaos.Lookup(opts.Chaos.Profile.String())
 		if err != nil {
 			return nil, fmt.Errorf("fastjoin: %w", err)
 		}
-		inj = chaos.NewInjector(profile, opts.ChaosSeed)
+		inj = chaos.NewInjector(profile, opts.Chaos.Seed)
 		cfg.Chaos = inj
 	}
 
@@ -289,7 +211,16 @@ func New(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{kind: opts.Kind, sys: sys, chaos: inj}, nil
+	s := &System{kind: opts.Kind, sys: sys, chaos: inj, trace: tracer}
+	if opts.Observe.Addr != "" {
+		srv, err := obs.Serve(opts.Observe.Addr, (*obsSource)(s))
+		if err != nil {
+			sys.Stop()
+			return nil, fmt.Errorf("fastjoin: observability endpoint: %w", err)
+		}
+		s.obsrv = srv
+	}
+	return s, nil
 }
 
 // Kind returns which system this is.
@@ -304,11 +235,54 @@ func (s *System) WaitComplete(timeout time.Duration) error {
 // Drain stops ingestion and settles in-flight work.
 func (s *System) Drain(timeout time.Duration) error { return s.sys.Drain(timeout) }
 
-// Stop terminates the system immediately.
-func (s *System) Stop() { s.sys.Stop() }
+// ctxPollSlice is how long the context-aware waiters block between
+// context checks. Short enough that cancellation feels immediate, long
+// enough that polling costs nothing.
+const ctxPollSlice = 200 * time.Millisecond
+
+// WaitCompleteCtx is WaitComplete driven by a context: it waits in short
+// slices, returning ctx.Err() as soon as the context is done and nil once
+// the system has settled. With neither, it waits forever — pass a context
+// with a deadline to bound it.
+func (s *System) WaitCompleteCtx(ctx context.Context) error {
+	return pollCtx(ctx, s.sys.WaitComplete)
+}
+
+// DrainCtx is Drain driven by a context: ingestion stops immediately, and
+// the settling wait is bounded by the context instead of a timeout.
+func (s *System) DrainCtx(ctx context.Context) error {
+	return pollCtx(ctx, s.sys.Drain)
+}
+
+func pollCtx(ctx context.Context, wait func(time.Duration) error) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// A slice that ends without quiescence reports a timeout error;
+		// loop and re-check the context. Any slice may return nil — done.
+		if err := wait(ctxPollSlice); err == nil {
+			return nil
+		}
+	}
+}
+
+// Stop terminates the system immediately and closes the observability
+// endpoint, if one was configured.
+func (s *System) Stop() {
+	s.sys.Stop()
+	if s.obsrv != nil {
+		_ = s.obsrv.Close()
+	}
+}
 
 // RunFor lets the system process for d, then drains and stops it.
-func (s *System) RunFor(d time.Duration) error { return s.sys.RunFor(d) }
+func (s *System) RunFor(d time.Duration) error {
+	time.Sleep(d)
+	err := s.Drain(0)
+	s.Stop()
+	return err
+}
 
 // ThroughputTick returns results/second since the previous call.
 func (s *System) ThroughputTick() float64 { return s.sys.Metrics().Results.TickRate() }

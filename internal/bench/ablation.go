@@ -22,10 +22,10 @@ func Ablation() *Experiment {
 				mutate func(*fastjoin.Options)
 			}{
 				{"default", func(*fastjoin.Options) {}},
-				{"no-hysteresis", func(o *fastjoin.Options) { o.SustainTicks = 1 }},
-				{"cooldown-100ms", func(o *fastjoin.Options) { o.Cooldown = 100 * time.Millisecond }},
-				{"cooldown-2s", func(o *fastjoin.Options) { o.Cooldown = 2 * time.Second }},
-				{"theta-gap-10k", func(o *fastjoin.Options) { o.MinBenefit = 10_000 }},
+				{"no-hysteresis", func(o *fastjoin.Options) { o.Migration.SustainTicks = 1 }},
+				{"cooldown-100ms", func(o *fastjoin.Options) { o.Migration.Cooldown = 100 * time.Millisecond }},
+				{"cooldown-2s", func(o *fastjoin.Options) { o.Migration.Cooldown = 2 * time.Second }},
+				{"theta-gap-10k", func(o *fastjoin.Options) { o.Migration.MinBenefit = 10_000 }},
 				{"no-migration", func(o *fastjoin.Options) { o.Kind = fastjoin.KindBiStream }},
 			}
 			rep := &Report{
@@ -36,7 +36,7 @@ func Ablation() *Experiment {
 			}
 			for _, v := range variants {
 				opts := sysOptions(fastjoin.KindFastJoin, p, p.Joiners, rideHailingSources(p, 0))
-				opts.Window = timedWindow
+				opts.Windowing.Span = timedWindow
 				v.mutate(&opts)
 				res, err := runTimed(opts.Kind, opts, p.Duration, p.SampleEvery)
 				if err != nil {

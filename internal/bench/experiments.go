@@ -149,13 +149,13 @@ func expFig1cd() *Experiment {
 		Run: func(p Params) ([]*Report, error) {
 			p = p.withDefaults()
 			calOpts := sysOptions(fastjoin.KindBiStream, p, p.Joiners, rideHailingSources(p, 0))
-			calOpts.Window = timedWindow
+			calOpts.Windowing.Span = timedWindow
 			rate, err := calibrateOfferedRate(calOpts, calibrationTime(p))
 			if err != nil {
 				return nil, err
 			}
 			opts := sysOptions(fastjoin.KindBiStream, p, p.Joiners, rideHailingSourcesRate(p, 0, rate))
-			opts.Window = timedWindow
+			opts.Windowing.Span = timedWindow
 			res, err := runTimed(fastjoin.KindBiStream, opts, p.Duration, p.SampleEvery)
 			if err != nil {
 				return nil, err
@@ -213,7 +213,7 @@ func expFig3_4_11() *Experiment {
 		Run: func(p Params) ([]*Report, error) {
 			p = p.withDefaults()
 			calOpts := sysOptions(fastjoin.KindBiStream, p, p.Joiners, rideHailingSources(p, 0))
-			calOpts.Window = timedWindow
+			calOpts.Windowing.Span = timedWindow
 			rate, err := calibrateOfferedRate(calOpts, calibrationTime(p))
 			if err != nil {
 				return nil, err
@@ -221,7 +221,7 @@ func expFig3_4_11() *Experiment {
 			results := make([]TimedResult, 0, len(comparedSystems))
 			for _, kind := range comparedSystems {
 				opts := sysOptions(kind, p, p.Joiners, rideHailingSourcesRate(p, 0, rate))
-				opts.Window = timedWindow
+				opts.Windowing.Span = timedWindow
 				res, err := runTimed(kind, opts, p.Duration, p.SampleEvery)
 				if err != nil {
 					return nil, err
@@ -398,7 +398,7 @@ func expFig12_13() *Experiment {
 						Seed:     p.Seed,
 					})
 					opts := sysOptions(kind, p, p.Joiners, w.Sources)
-					opts.Window = timedWindow
+					opts.Windowing.Span = timedWindow
 					res, err := runTimed(kind, opts, p.Duration, p.SampleEvery)
 					if err != nil {
 						return nil, fmt.Errorf("fig12 %s@%s: %w", kind, label, err)
@@ -538,7 +538,7 @@ func expBatch() *Experiment {
 				for r := 0; r < reps; r++ {
 					opts := sysOptions(kind, p, p.Joiners, mkSources())
 					opts.ServiceRate = 0 // full-history, CPU/channel bound
-					opts.BatchSize = batchSize
+					opts.Batching.Size = batchSize
 					res, err := runBatch(kind, opts)
 					if err != nil {
 						return BatchResult{}, err
@@ -613,12 +613,12 @@ func expStore() *Experiment {
 			if p.Quick {
 				reps = 1
 			}
-			run := func(kind fastjoin.Kind, store string) (BatchResult, error) {
+			run := func(kind fastjoin.Kind, store fastjoin.StoreKind) (BatchResult, error) {
 				var best BatchResult
 				for r := 0; r < reps; r++ {
 					opts := sysOptions(kind, p, p.Joiners, mkSources())
 					opts.ServiceRate = 0 // full-history, CPU/channel bound
-					opts.Store = store
+					opts.StoreKind = store
 					res, err := runBatch(kind, opts)
 					if err != nil {
 						return BatchResult{}, err
@@ -644,11 +644,11 @@ func expStore() *Experiment {
 				},
 			}
 			for _, kind := range []fastjoin.Kind{fastjoin.KindBiStream, fastjoin.KindFastJoin} {
-				ref, err := run(kind, "map")
+				ref, err := run(kind, fastjoin.StoreMap)
 				if err != nil {
 					return nil, fmt.Errorf("store %s map: %w", kind, err)
 				}
-				chk, err := run(kind, "chunked")
+				chk, err := run(kind, fastjoin.StoreChunked)
 				if err != nil {
 					return nil, fmt.Errorf("store %s chunked: %w", kind, err)
 				}
@@ -694,7 +694,7 @@ func timedSweepReports(p Params, idA, idB, titleA, titleB, xLabel string, labels
 		latCells := make([]float64, len(comparedSystems))
 		for k, kind := range comparedSystems {
 			opts := mkOpts(i, kind)
-			opts.Window = timedWindow
+			opts.Windowing.Span = timedWindow
 			res, err := runTimed(kind, opts, p.Duration, p.SampleEvery)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s@%s: %w", idA, kind, label, err)

@@ -37,16 +37,19 @@ type Params struct {
 	// before a tick flushes it (0 = system default).
 	BatchLinger time.Duration
 	// Store overrides the joiners' window-store implementation for every
-	// run ("" = system default, i.e. "chunked"; "map" = the reference
-	// layout). The store A/B experiment ignores it and sweeps both.
-	Store string
+	// run (default fastjoin.StoreChunked). The store A/B experiment
+	// ignores it and sweeps both.
+	Store fastjoin.StoreKind
 	// Quick shrinks sweeps and durations for smoke tests.
 	Quick bool
-	// ChaosProfile, when non-empty, runs every system under the named
+	// ChaosProfile, when not ChaosNone, runs every system under the named
 	// chaos fault profile (fault drill mode); ChaosSeed seeds the
 	// injector so a drill replays exactly.
-	ChaosProfile string
+	ChaosProfile fastjoin.ChaosProfile
 	ChaosSeed    int64
+	// Observe, when non-empty, binds each run's observability endpoint to
+	// this address (e.g. "127.0.0.1:0") so a drill can be scraped live.
+	Observe string
 }
 
 // DefaultParams returns the laptop-scale defaults.
@@ -124,17 +127,24 @@ func sysOptions(kind fastjoin.Kind, p Params, joiners int, sources []fastjoin.Tu
 		Dispatchers:   4,
 		Shufflers:     4,
 		Sources:       sources,
-		Theta:         p.Theta,
-		Cooldown:      500 * time.Millisecond,
 		StatsInterval: 50 * time.Millisecond,
 		ServiceRate:   p.ServiceRate,
 		Seed:          uint64(p.Seed),
-		BatchSize:     p.BatchSize,
-		BatchLinger:   p.BatchLinger,
-		Store:         p.Store,
-		ChaosProfile:  p.ChaosProfile,
-		ChaosSeed:     p.ChaosSeed,
-		AbortTimeout:  abortTimeoutFor(p),
+		StoreKind:     p.Store,
+		Migration: fastjoin.MigrationOptions{
+			Theta:        p.Theta,
+			Cooldown:     500 * time.Millisecond,
+			AbortTimeout: abortTimeoutFor(p),
+		},
+		Batching: fastjoin.BatchOptions{
+			Size:   p.BatchSize,
+			Linger: p.BatchLinger,
+		},
+		Chaos: fastjoin.ChaosOptions{
+			Profile: p.ChaosProfile,
+			Seed:    p.ChaosSeed,
+		},
+		Observe: fastjoin.ObserveOptions{Addr: p.Observe},
 	}
 }
 
@@ -147,7 +157,7 @@ func (p Params) Resolved() Params { return p.withDefaults() }
 // forever without it. Clean runs keep 0 (abort path disabled) so the
 // baseline numbers are untouched.
 func abortTimeoutFor(p Params) time.Duration {
-	if p.ChaosProfile == "" || p.ChaosProfile == "none" {
+	if p.ChaosProfile == fastjoin.ChaosNone {
 		return 0
 	}
 	return 2 * time.Second

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"fastjoin/internal/obs"
 	"fastjoin/internal/stream"
 )
 
@@ -45,6 +46,9 @@ func benchmarkDataPlane(b *testing.B, batchSize int, store StoreImpl) {
 		// Long stats interval: keep the periodic reporter out of the
 		// allocation profile so the comparison isolates the data plane.
 		cfg.StatsInterval = time.Second
+		// Observability on: the tracer must stay off the data plane, so
+		// the allocation ceiling holds with it attached.
+		cfg.Tracer = obs.NewTracer(0)
 		if n := runBenchPipeline(b, cfg, tuples); n == 0 {
 			b.Fatal("no pairs produced")
 		}

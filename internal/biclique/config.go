@@ -7,6 +7,7 @@ import (
 	"fastjoin/internal/chaos"
 	"fastjoin/internal/core"
 	"fastjoin/internal/engine"
+	"fastjoin/internal/obs"
 	"fastjoin/internal/stream"
 	"fastjoin/internal/window"
 )
@@ -184,6 +185,12 @@ type Config struct {
 	// profile. Wired into Engine.Inject/Engine.Stall at Start unless those
 	// are already set explicitly.
 	Chaos *chaos.Injector
+	// Tracer, when set, receives typed control-plane trace events from the
+	// migration protocol: trigger with LI/Θ, key selection with benefit,
+	// routing fence, marker handshake, replay, commit or abort+rollback.
+	// Only migration-control messages emit events — never per-tuple work —
+	// so tracing is cheap enough to leave on in production.
+	Tracer *obs.Tracer
 	// Seed derandomizes hash placement and the random strategies.
 	Seed uint64
 

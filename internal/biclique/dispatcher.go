@@ -2,6 +2,7 @@ package biclique
 
 import (
 	"fastjoin/internal/engine"
+	"fastjoin/internal/obs"
 	"fastjoin/internal/routing"
 	"fastjoin/internal/stream"
 )
@@ -177,12 +178,29 @@ func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 		if ord < b.applied[k] {
 			return // stale: a newer update from this source already applied
 		}
+		// First sighting of this update (re-deliveries re-apply and re-ack
+		// but are not re-traced).
+		first := ord > b.applied[k]
 		b.applied[k] = ord
 		// Flush every open batch before the marker: the fencing proof needs
 		// the marker to ride behind every tuple this task routed before the
 		// update, including tuples still sitting in a lane's open batch.
 		b.flushAll(out)
 		b.router.ApplyUpdate(v.Side, v.Keys, v.NewOwner)
+		if first {
+			b.cfg.Tracer.Emit(obs.Event{
+				Kind:       obs.KindRouteApplied,
+				Span:       obs.NewSpanID(uint8(v.Side), v.Source, v.Epoch),
+				Side:       uint8(v.Side),
+				Instance:   b.ctx.Task,
+				Dispatcher: b.ctx.Task,
+				Source:     v.Source,
+				Target:     v.NewOwner,
+				Epoch:      v.Epoch,
+				Keys:       len(v.Keys),
+				Revert:     v.Revert,
+			})
+		}
 		// The marker rides the data lane to the instance waiting on the
 		// handshake (source for forward updates, target for reverts),
 		// behind every tuple this task routed there before the update —

@@ -7,6 +7,7 @@ import (
 	"fastjoin/internal/core"
 	"fastjoin/internal/engine"
 	"fastjoin/internal/metrics"
+	"fastjoin/internal/obs"
 	"fastjoin/internal/stream"
 	"fastjoin/internal/window"
 )
@@ -366,14 +367,41 @@ func (b *joinerBolt) makePair(stored, probing stream.Tuple, joinedAt int64) stre
 	return p
 }
 
+// trace emits one control-plane event for the migration attempt of the
+// given source instance on this side (this instance itself when it is the
+// source; the origin of an inbound attempt when it is the target). The
+// tracer's Emit is nil-safe, so call sites carry no conditionals.
+func (b *joinerBolt) trace(source int, ev obs.Event) {
+	ev.Span = obs.NewSpanID(uint8(b.side), source, ev.Epoch)
+	ev.Side = uint8(b.side)
+	ev.Instance = b.ctx.Task
+	ev.Source = source
+	b.cfg.Tracer.Emit(ev)
+}
+
 // startMigration is the source-side entry of Algorithm 2.
 func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
 	if b.migrating || cmd.Target.Instance == b.ctx.Task {
 		// Stale or self-targeted command: report an empty migration so the
-		// monitor re-arms.
-		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI, false)
+		// monitor re-arms. Epoch 0 keeps the report out of the trace — no
+		// span was opened, and the report must not inject events into the
+		// in-flight attempt's span.
+		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI, false, 0)
 		return
 	}
+	// Every accepted command consumes an epoch, so an attempt whose
+	// selection comes up empty still gets its own trace span instead of
+	// reusing the previous attempt's ID. Epochs only need to be per-source
+	// monotone — the dispatchers' update ordering and the targets'
+	// finished map both tolerate gaps.
+	b.migEpoch++
+	b.trace(b.ctx.Task, obs.Event{
+		Kind:   obs.KindTrigger,
+		Epoch:  b.migEpoch,
+		Target: cmd.Target.Instance,
+		LI:     cmd.LI,
+		Theta:  cmd.Theta,
+	})
 	input := core.SelectInput{
 		Source:     cmd.Source,
 		Target:     cmd.Target,
@@ -381,8 +409,24 @@ func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
 		MinBenefit: b.cfg.Migration.MinBenefit,
 	}
 	selected := b.cfg.Migration.Selector(input)
+	if b.cfg.Tracer != nil {
+		// TotalBenefit re-scans the key stats; skip it when nobody listens.
+		b.trace(b.ctx.Task, obs.Event{
+			Kind:    obs.KindSelect,
+			Epoch:   b.migEpoch,
+			Target:  cmd.Target.Instance,
+			Keys:    len(selected),
+			Benefit: core.TotalBenefit(input, selected),
+		})
+	}
 	if len(selected) == 0 {
-		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI, false)
+		b.trace(b.ctx.Task, obs.Event{
+			Kind:   obs.KindNoop,
+			Epoch:  b.migEpoch,
+			Target: cmd.Target.Instance,
+			LI:     cmd.LI,
+		})
+		b.reportDone(out, cmd.Target.Instance, 0, 0, cmd.LI, false, b.migEpoch)
 		return
 	}
 
@@ -395,7 +439,6 @@ func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
 
 	b.migrating = true
 	b.aborting = false
-	b.migEpoch++
 	b.migTarget = cmd.Target.Instance
 	b.migMoved = len(batch.Tuples)
 	b.migLI = cmd.LI
@@ -423,6 +466,15 @@ func (b *joinerBolt) startMigration(cmd MigrateCmd, out *engine.Collector) {
 		Epoch:    b.migEpoch,
 		MarkerTo: b.ctx.Task,
 	}
+	// Trace before the broadcast: the dispatchers' RouteApplied events must
+	// sort after the fence in the tracer's total order.
+	b.trace(b.ctx.Task, obs.Event{
+		Kind:   obs.KindFence,
+		Epoch:  b.migEpoch,
+		Target: b.migTarget,
+		Keys:   len(selected),
+		Moved:  b.migMoved,
+	})
 	out.Emit(streamRouteUpd, b.migUpdate)
 }
 
@@ -441,13 +493,28 @@ func (b *joinerBolt) handleMarker(v Marker, out *engine.Collector) {
 	if !b.migrating || b.aborting || v.Origin != b.ctx.Task || v.Epoch != b.migEpoch {
 		return // stale or duplicated marker from an earlier attempt
 	}
-	b.markerSet[v.DispatcherTask] = true
+	if !b.markerSet[v.DispatcherTask] {
+		b.markerSet[v.DispatcherTask] = true
+		b.trace(b.ctx.Task, obs.Event{
+			Kind:       obs.KindMarker,
+			Epoch:      b.migEpoch,
+			Target:     b.migTarget,
+			Dispatcher: v.DispatcherTask,
+		})
+	}
 	if len(b.markerSet) < b.cfg.Dispatchers {
 		return
 	}
 	// Markers from every dispatcher task prove no further tuples for the
 	// migrated keys can reach this instance: flush the temporary queue —
 	// even empty, it is what releases the target's inbound buffer (l. 13).
+	// Trace before emitting so the target's replay sorts after the flush.
+	b.trace(b.ctx.Task, obs.Event{
+		Kind:   obs.KindFlush,
+		Epoch:  b.migEpoch,
+		Target: b.migTarget,
+		Moved:  len(b.tempQueue),
+	})
 	out.EmitDirect(migStream(b.side), b.migTarget, MigrateFlush{
 		Side:   b.side,
 		From:   b.ctx.Task,
@@ -456,8 +523,16 @@ func (b *joinerBolt) handleMarker(v Marker, out *engine.Collector) {
 	})
 	keys := len(b.migKeys)
 	target, moved := b.migTarget, b.migMoved
+	b.trace(b.ctx.Task, obs.Event{
+		Kind:   obs.KindCommit,
+		Epoch:  b.migEpoch,
+		Target: target,
+		Keys:   keys,
+		Moved:  moved,
+		LI:     b.migLI,
+	})
 	b.clearSourceState()
-	b.reportDone(out, target, keys, moved, b.migLI, false)
+	b.reportDone(out, target, keys, moved, b.migLI, false, b.migEpoch)
 }
 
 // clearSourceState ends this instance's outbound migration attempt.
@@ -479,6 +554,13 @@ func (b *joinerBolt) clearSourceState() {
 func (b *joinerBolt) beginAbort() {
 	b.aborting = true
 	b.migTicks = 0
+	// Traced before onTick broadcasts the revert update, so the revert
+	// RouteApplied / RevertMarker events sort after the abort.
+	b.trace(b.ctx.Task, obs.Event{
+		Kind:   obs.KindAbort,
+		Epoch:  b.migEpoch,
+		Target: b.migTarget,
+	})
 	// markerSet restarts: it now collects revert markers, this instance's
 	// own delivery fence for the rollback replay.
 	b.markerSet = make(map[int]bool, b.cfg.Dispatchers)
@@ -502,7 +584,15 @@ func (b *joinerBolt) handleSourceRevertMarker(v Marker, out *engine.Collector) {
 	if !b.migrating || !b.aborting || v.Epoch != b.migEpoch {
 		return // stale marker from an earlier attempt
 	}
-	b.markerSet[v.DispatcherTask] = true
+	if !b.markerSet[v.DispatcherTask] {
+		b.markerSet[v.DispatcherTask] = true
+		b.trace(b.ctx.Task, obs.Event{
+			Kind:       obs.KindRevertMarker,
+			Epoch:      b.migEpoch,
+			Target:     b.migTarget,
+			Dispatcher: v.DispatcherTask,
+		})
+	}
 	b.tryFinishSourceAbort(out)
 }
 
@@ -511,6 +601,14 @@ func (b *joinerBolt) handleSourceRevertMarker(v Marker, out *engine.Collector) {
 func (b *joinerBolt) handleReturn(v MigrateReturn, out *engine.Collector) {
 	if !b.migrating || !b.aborting || v.Origin != b.ctx.Task || v.Epoch != b.migEpoch {
 		return // duplicate return of an attempt already rolled back
+	}
+	if b.pendingReturn == nil {
+		b.trace(b.ctx.Task, obs.Event{
+			Kind:   obs.KindReturn,
+			Epoch:  b.migEpoch,
+			Target: v.From,
+			Moved:  len(v.Tuples) + len(v.Buffered),
+		})
 	}
 	b.pendingReturn = &v
 	b.tryFinishSourceAbort(out)
@@ -539,18 +637,35 @@ func (b *joinerBolt) tryFinishSourceAbort(out *engine.Collector) {
 
 	keys := len(b.migKeys)
 	target, moved := b.migTarget, b.migMoved
+	epoch := b.migEpoch
+	b.trace(b.ctx.Task, obs.Event{
+		Kind:   obs.KindReplay,
+		Epoch:  epoch,
+		Target: target,
+		Moved:  len(merged),
+	})
 	// Clear the migration before replaying so the tuples are processed
 	// instead of re-buffered.
 	b.clearSourceState()
 	for _, tm := range merged {
 		b.replay(tm, out)
 	}
-	b.reportDone(out, target, keys, moved, b.migLI, true)
+	b.trace(b.ctx.Task, obs.Event{
+		Kind:   obs.KindRollback,
+		Epoch:  epoch,
+		Target: target,
+		Keys:   keys,
+		Moved:  moved,
+		LI:     b.migLI,
+	})
+	b.reportDone(out, target, keys, moved, b.migLI, true, epoch)
 }
 
 // reportDone notifies the side's monitor that the migration attempt
-// ended (completed or aborted), re-arming its trigger.
-func (b *joinerBolt) reportDone(out *engine.Collector, target, keys, moved int, li float64, aborted bool) {
+// ended (completed or aborted), re-arming its trigger. epoch identifies
+// the attempt for tracing; zero marks a report with no span (a rejected
+// or self-targeted command).
+func (b *joinerBolt) reportDone(out *engine.Collector, target, keys, moved int, li float64, aborted bool, epoch uint64) {
 	if keys > 0 {
 		if aborted {
 			b.met.MigrationAborts.Inc()
@@ -577,6 +692,7 @@ func (b *joinerBolt) reportDone(out *engine.Collector, target, keys, moved int, 
 		Keys:    keys,
 		Moved:   moved,
 		Aborted: aborted,
+		Epoch:   epoch,
 	})
 }
 
@@ -603,6 +719,13 @@ func (b *joinerBolt) installBatch(batch MigrateBatch) {
 	b.inbound[batch.From] = in
 	b.store.AddBulk(batch.Tuples)
 	b.storedGauge().Add(int64(len(batch.Tuples)))
+	b.trace(batch.From, obs.Event{
+		Kind:   obs.KindInstall,
+		Epoch:  batch.Epoch,
+		Target: b.ctx.Task,
+		Keys:   len(batch.Keys),
+		Moved:  len(batch.Tuples),
+	})
 	// Installing migrated tuples is real work on the target node.
 	b.consume(float64(len(batch.Tuples)))
 }
@@ -616,6 +739,15 @@ func (b *joinerBolt) handleFlush(flush MigrateFlush, out *engine.Collector) {
 	}
 	delete(b.inbound, flush.From)
 	b.setFinished(flush.From, flush.Epoch)
+	// The target's replay trails the source's commit in the trace: the
+	// source committed the moment its marker set completed, and this event
+	// is causally downstream of its flush.
+	b.trace(flush.From, obs.Event{
+		Kind:   obs.KindReplay,
+		Epoch:  flush.Epoch,
+		Target: b.ctx.Task,
+		Moved:  len(flush.Queued) + len(in.buf),
+	})
 	for _, tm := range flush.Queued {
 		b.replay(tm, out)
 	}
@@ -634,7 +766,15 @@ func (b *joinerBolt) handleRevertMarker(v Marker, out *engine.Collector) {
 	if in.markers == nil {
 		in.markers = make(map[int]bool, b.cfg.Dispatchers)
 	}
-	in.markers[v.DispatcherTask] = true
+	if !in.markers[v.DispatcherTask] {
+		in.markers[v.DispatcherTask] = true
+		b.trace(in.origin, obs.Event{
+			Kind:       obs.KindRevertMarker,
+			Epoch:      in.epoch,
+			Target:     b.ctx.Task,
+			Dispatcher: v.DispatcherTask,
+		})
+	}
 	b.maybeFinishAbort(in, out)
 }
 

@@ -126,6 +126,9 @@ type MigrateCmd struct {
 	Source core.InstanceLoad
 	Target core.InstanceLoad
 	LI     float64
+	// Theta is the monitor's effective trigger threshold Θ, carried so the
+	// source's trace events record the threshold the imbalance exceeded.
+	Theta float64
 }
 
 // MigrateBatch carries the stored tuples of the selected keys from the
@@ -234,4 +237,8 @@ type MigrationDone struct {
 	Keys    int
 	Moved   int
 	Aborted bool
+	// Epoch identifies the source's attempt for tracing; zero means the
+	// report answers a rejected or self-targeted command that never opened
+	// an attempt (the monitor re-arms but records no trace event).
+	Epoch uint64
 }

@@ -6,6 +6,7 @@ import (
 
 	"fastjoin/internal/core"
 	"fastjoin/internal/engine"
+	"fastjoin/internal/obs"
 	"fastjoin/internal/stream"
 )
 
@@ -57,6 +58,24 @@ func (b *monitorBolt) Execute(m engine.Message, out *engine.Collector) {
 		b.latest[v.Load.Instance] = v.Load
 	case MigrationDone:
 		b.mon.MigrationDone()
+		if v.Epoch != 0 {
+			// Close the trace span from the monitor's side. Best-effort:
+			// MigrationDone rides a droppable control lane, so a span is
+			// complete without this event (the StuckTimeout below re-arms
+			// the trigger if the report never lands).
+			b.cfg.Tracer.Emit(obs.Event{
+				Kind:     obs.KindDone,
+				Span:     obs.NewSpanID(uint8(b.side), v.Source, v.Epoch),
+				Side:     uint8(b.side),
+				Instance: -1,
+				Source:   v.Source,
+				Target:   v.Target,
+				Epoch:    v.Epoch,
+				Keys:     v.Keys,
+				Moved:    v.Moved,
+				Revert:   v.Aborted,
+			})
+		}
 	default:
 		if m.Stream == engine.TickStream {
 			b.onTick(out)
@@ -101,6 +120,7 @@ func (b *monitorBolt) onTick(out *engine.Collector) {
 			Source: d.Source,
 			Target: d.Target,
 			LI:     d.LI,
+			Theta:  b.mon.Policy().Theta,
 		})
 	}
 }

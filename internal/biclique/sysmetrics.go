@@ -59,6 +59,12 @@ type SystemMetrics struct {
 	liSeries   [2]*metrics.TimeSeries
 	loadSeries [2][]*metrics.TimeSeries
 	migLog     []MigrationEvent
+	// lastLoads / lastLI hold the most recent load report of every
+	// instance and the latest recorded imbalance per side — the
+	// instantaneous values the /metrics endpoint exports (the series
+	// above serve the post-hoc figure exports).
+	lastLoads [2][]core.InstanceLoad
+	lastLI    [2]float64
 }
 
 // RuntimeSample is a point-in-time view of the process heap and the GC
@@ -99,8 +105,10 @@ func NewSystemMetrics(joinersPerSide int) *SystemMetrics {
 	for side := 0; side < 2; side++ {
 		m.liSeries[side] = &metrics.TimeSeries{}
 		m.loadSeries[side] = make([]*metrics.TimeSeries, joinersPerSide)
+		m.lastLoads[side] = make([]core.InstanceLoad, joinersPerSide)
 		for i := range m.loadSeries[side] {
 			m.loadSeries[side][i] = &metrics.TimeSeries{}
+			m.lastLoads[side][i] = core.InstanceLoad{Instance: i}
 		}
 	}
 	runtime.ReadMemStats(&m.gcBase)
@@ -126,6 +134,7 @@ func (m *SystemMetrics) RecordImbalance(side stream.Side, li float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.liSeries[side].AppendNow(li)
+	m.lastLI[side] = li
 }
 
 // RecordLoads appends the current load of every reporting instance.
@@ -136,8 +145,29 @@ func (m *SystemMetrics) RecordLoads(side stream.Side, loads []core.InstanceLoad)
 	for _, l := range loads {
 		if l.Instance >= 0 && l.Instance < len(series) {
 			series[l.Instance].AppendNow(float64(l.Load()))
+			m.lastLoads[side][l.Instance] = l
 		}
 	}
+}
+
+// InstanceLoads returns the latest load report of every instance on a
+// side: stored tuples |R_i|, probe pressure φ_si, and therefore the
+// paper's load statistic L_i via Load(). Instances that have not reported
+// yet carry zeros.
+func (m *SystemMetrics) InstanceLoads(side stream.Side) []core.InstanceLoad {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]core.InstanceLoad, len(m.lastLoads[side]))
+	copy(out, m.lastLoads[side])
+	return out
+}
+
+// LastLI returns the most recently recorded degree of load imbalance of a
+// side (clipped to the recording cap; zero before the first observation).
+func (m *SystemMetrics) LastLI(side stream.Side) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastLI[side]
 }
 
 // LISeries returns the recorded LI observations of a side.

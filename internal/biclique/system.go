@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"fastjoin/internal/engine"
+	"fastjoin/internal/obs"
 	"fastjoin/internal/stream"
 )
 
@@ -114,6 +115,10 @@ func Start(cfg Config) (*System, error) {
 
 // Metrics returns the live measurements of the system.
 func (s *System) Metrics() *SystemMetrics { return s.met }
+
+// Tracer returns the control-plane tracer the system was configured with,
+// or nil when tracing is off.
+func (s *System) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
 // MigrationsInFlight reports migration attempts whose handshake or
 // rollback has not finished. Completeness checks under fault injection

@@ -40,6 +40,10 @@ type task struct {
 	processed atomic.Int64
 	emitted   atomic.Int64
 	panics    atomic.Int64
+	// queueHW is the deepest data backlog observed at dispatch time.
+	// Written only by the task's own goroutine (load-then-store is safe);
+	// read concurrently by Stats.
+	queueHW atomic.Int64
 
 	collector *Collector
 }
@@ -246,6 +250,12 @@ func (c *LocalCluster) runBolt(tk *task) {
 // so pending stays positive until the batch is delivered.
 func (c *LocalCluster) dispatch(tk *task, m Message) {
 	defer c.pending.Add(-1)
+	// Sample the backlog left behind by this dequeue. Only this goroutine
+	// writes queueHW, so a plain load-compare-store needs no CAS loop, and
+	// the sample costs two atomic ops — nothing on the allocation front.
+	if d := int64(len(tk.data)); d > tk.queueHW.Load() {
+		tk.queueHW.Store(d)
+	}
 	c.execute(tk, m)
 	if tk.flusher != nil && len(tk.data) == 0 {
 		c.flush(tk)
@@ -434,13 +444,14 @@ func (c *LocalCluster) Stats(component string) []TaskStats {
 	out := make([]TaskStats, len(tasks))
 	for i, tk := range tasks {
 		out[i] = TaskStats{
-			Component: component,
-			Task:      i,
-			Processed: tk.processed.Load(),
-			Emitted:   tk.emitted.Load(),
-			Panics:    tk.panics.Load(),
-			QueueLen:  len(tk.data),
-			CtrlLen:   len(tk.ctrl),
+			Component:      component,
+			Task:           i,
+			Processed:      tk.processed.Load(),
+			Emitted:        tk.emitted.Load(),
+			Panics:         tk.panics.Load(),
+			QueueLen:       len(tk.data),
+			CtrlLen:        len(tk.ctrl),
+			QueueHighWater: int(tk.queueHW.Load()),
 		}
 	}
 	return out

@@ -200,6 +200,10 @@ type TaskStats struct {
 	Panics    int64  `json:"panics"`
 	QueueLen  int    `json:"queue_len"`
 	CtrlLen   int    `json:"ctrl_len"`
+	// QueueHighWater is the deepest data-queue backlog the task has
+	// observed at dispatch time since start — the congestion signal the
+	// observability endpoint exports alongside the instantaneous QueueLen.
+	QueueHighWater int `json:"queue_high_water"`
 }
 
 // DefaultDrainTimeout bounds how long Drain waits for quiescence.

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateBolt blocks its first Execute until released, letting the test pile
+// a known backlog onto its input queue.
+type gateBolt struct {
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *gateBolt) Prepare(Context, *Collector) {}
+func (b *gateBolt) Execute(Message, *Collector) {
+	b.once.Do(func() { <-b.release })
+}
+func (b *gateBolt) Cleanup() {}
+
+// TestQueueHighWaterSampling checks the dispatch-time congestion signal:
+// a bolt that stalls while its spout floods must report a queue high-water
+// near the backlog it later drained, and the instantaneous QueueLen must
+// return to zero once the run settles.
+func TestQueueHighWaterSampling(t *testing.T) {
+	const n = 300
+	release := make(chan struct{})
+	b := NewBuilder()
+	b.AddSpout("src", intsSpoutFactory(n), 1)
+	b.AddBolt("gate", func(task int) Bolt {
+		return &gateBolt{release: release}
+	}, 1).Shuffle("src", "out")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Submit(topo, Config{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Let the spout flood the gated bolt's queue, then open the gate.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := c.Stats("gate"); len(st) == 1 && st[0].QueueLen >= n/2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			c.Stop()
+			t.Fatalf("backlog never built: %+v", c.Stats("gate"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := c.WaitComplete(10 * time.Second); err != nil {
+		c.Stop()
+		t.Fatalf("WaitComplete: %v", err)
+	}
+	c.Stop()
+
+	st := c.Stats("gate")
+	if len(st) != 1 {
+		t.Fatalf("Stats: %+v", st)
+	}
+	if st[0].QueueHighWater < n/2 {
+		t.Errorf("QueueHighWater = %d, want >= %d (backlog was drained through dispatch)",
+			st[0].QueueHighWater, n/2)
+	}
+	if st[0].QueueLen != 0 {
+		t.Errorf("QueueLen = %d after settle, want 0", st[0].QueueLen)
+	}
+	if st[0].Processed != n {
+		t.Errorf("Processed = %d, want %d", st[0].Processed, n)
+	}
+}

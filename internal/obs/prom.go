@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricType is the Prometheus metric type of a Family.
+type MetricType string
+
+const (
+	TypeCounter MetricType = "counter"
+	TypeGauge   MetricType = "gauge"
+	TypeSummary MetricType = "summary"
+	TypeUntyped MetricType = "untyped"
+)
+
+// Label is one name/value pair on a Sample.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one time-series point within a Family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+	// Suffix is appended to the family name ("_sum", "_count") for
+	// summary component series; empty for plain samples.
+	Suffix string
+}
+
+// Family is one named metric family in the exposition.
+type Family struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+}
+
+// L is shorthand for building a label list: L("side", "R", "instance", "3").
+// Panics on an odd argument count (programmer error at the call site).
+func L(pairs ...string) []Label {
+	if len(pairs)%2 != 0 {
+		panic("obs.L: odd number of label arguments") //lint:allow panicpath static call-site invariant
+	}
+	out := make([]Label, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Label{Name: pairs[i], Value: pairs[i+1]})
+	}
+	return out
+}
+
+// WriteProm writes the families in Prometheus text exposition format 0.0.4.
+// Families are written in the order given; samples within a family keep
+// their order (callers should sort label sets for a stable exposition).
+func WriteProm(w io.Writer, families []Family) error {
+	var b strings.Builder
+	for _, f := range families {
+		if f.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.Help))
+			b.WriteByte('\n')
+		}
+		typ := f.Type
+		if typ == "" {
+			typ = TypeUntyped
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(string(typ))
+		b.WriteByte('\n')
+		for _, s := range f.Samples {
+			b.WriteString(f.Name)
+			b.WriteString(s.Suffix)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.Name)
+					b.WriteString(`="`)
+					b.WriteString(escapeLabel(l.Value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatValue(v float64) string {
+	// strconv's 'g' shortest form matches what Prometheus clients emit;
+	// integral values render without an exponent for readability.
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// SortSamples orders a family's samples by their label values, giving the
+// exposition a stable line order for golden tests and diffing.
+func SortSamples(f *Family) {
+	sort.SliceStable(f.Samples, func(i, j int) bool {
+		a, b := f.Samples[i], f.Samples[j]
+		if a.Suffix != b.Suffix {
+			return a.Suffix < b.Suffix
+		}
+		n := len(a.Labels)
+		if len(b.Labels) < n {
+			n = len(b.Labels)
+		}
+		for k := 0; k < n; k++ {
+			if a.Labels[k].Value != b.Labels[k].Value {
+				// Numeric label values (instance/task IDs) sort
+				// numerically so instance 10 follows 9, not 1.
+				ai, aerr := strconv.Atoi(a.Labels[k].Value)
+				bi, berr := strconv.Atoi(b.Labels[k].Value)
+				if aerr == nil && berr == nil {
+					return ai < bi
+				}
+				return a.Labels[k].Value < b.Labels[k].Value
+			}
+		}
+		return len(a.Labels) < len(b.Labels)
+	})
+}
+
+// Validate checks the exposition constraints this package relies on:
+// non-empty family names, metric and label names matching the Prometheus
+// charset, and no duplicate family names. It is a test helper, not a
+// serving-path check.
+func Validate(families []Family) error {
+	seen := make(map[string]bool, len(families))
+	for _, f := range families {
+		if !validName(f.Name) {
+			return fmt.Errorf("invalid family name %q", f.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("duplicate family %q", f.Name)
+		}
+		seen[f.Name] = true
+		for _, s := range f.Samples {
+			for _, l := range s.Labels {
+				if !validName(l.Name) {
+					return fmt.Errorf("family %q: invalid label name %q", f.Name, l.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

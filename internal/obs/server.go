@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Source is what a Server scrapes. The facade implements it over the
+// running system; every call happens on the scrape path, never on the
+// data path, so implementations may take snapshots under locks.
+type Source interface {
+	// ObsFamilies returns the current metric families for /metrics.
+	ObsFamilies() []Family
+	// ObsStats returns the object rendered as /stats.json.
+	ObsStats() any
+	// ObsTrace returns the buffered trace events for /trace.json.
+	ObsTrace() []Event
+}
+
+// Server serves the observability endpoints over HTTP:
+//
+//	/metrics        Prometheus text exposition
+//	/stats.json     the facade's Stats snapshot
+//	/trace.json     the control-plane trace ring, oldest first
+//	/debug/pprof/*  net/http/pprof
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. ":9144" or "127.0.0.1:0") and serves the
+// endpoints for src until Close. It returns once the listener is bound,
+// so Addr() is immediately valid.
+func Serve(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, src.ObsFamilies())
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, src.ObsStats())
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, src.ObsTrace())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s := &Server{ln: ln, srv: srv}
+	go func() {
+		// Serve returns http.ErrServerClosed after Close; any earlier
+		// error just ends the endpoint — the join system is unaffected.
+		_ = srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,418 @@
+package fastjoin
+
+import (
+	"fmt"
+	"time"
+
+	"fastjoin/internal/obs"
+)
+
+// StoreKind selects the join instances' window-store implementation.
+type StoreKind uint8
+
+const (
+	// StoreChunked is the chunked arena store (the default): slab-backed
+	// per-key chunk chains with O(expired) expiry.
+	StoreChunked StoreKind = iota
+	// StoreMap is the map[Key][]Tuple reference layout, kept for A/B
+	// benchmarking and differential testing.
+	StoreMap
+)
+
+// String names the store kind as the -store flag does.
+func (k StoreKind) String() string {
+	switch k {
+	case StoreChunked:
+		return "chunked"
+	case StoreMap:
+		return "map"
+	default:
+		return fmt.Sprintf("StoreKind(%d)", uint8(k))
+	}
+}
+
+// ParseStoreKind parses a -store flag value; "" means the default.
+func ParseStoreKind(s string) (StoreKind, error) {
+	switch s {
+	case "", "chunked":
+		return StoreChunked, nil
+	case "map":
+		return StoreMap, nil
+	default:
+		return 0, fmt.Errorf("fastjoin: unknown store implementation %q (want \"chunked\" or \"map\")", s)
+	}
+}
+
+// ChaosProfile selects a deterministic fault-injection profile. The zero
+// value is ChaosNone: no injector is attached.
+type ChaosProfile uint8
+
+const (
+	// ChaosNone runs without fault injection.
+	ChaosNone ChaosProfile = iota
+	// ChaosDropOnly drops control-plane messages.
+	ChaosDropOnly
+	// ChaosDelayOnly delays (and thereby reorders) control messages.
+	ChaosDelayOnly
+	// ChaosDupOnly duplicates control messages.
+	ChaosDupOnly
+	// ChaosMixed combines drops, delays, duplicates, and task stalls.
+	ChaosMixed
+	// ChaosAbortStorm targets the marker handshake to force migration
+	// aborts and rollbacks.
+	ChaosAbortStorm
+)
+
+var chaosProfileNames = map[ChaosProfile]string{
+	ChaosNone:       "none",
+	ChaosDropOnly:   "droponly",
+	ChaosDelayOnly:  "delayonly",
+	ChaosDupOnly:    "duponly",
+	ChaosMixed:      "mixed",
+	ChaosAbortStorm: "abortstorm",
+}
+
+// String names the profile as the -chaos flag and chaos.Lookup do.
+func (p ChaosProfile) String() string {
+	if name, ok := chaosProfileNames[p]; ok {
+		return name
+	}
+	return fmt.Sprintf("ChaosProfile(%d)", uint8(p))
+}
+
+// ParseChaosProfile parses a -chaos flag value; "" and "none" both mean
+// no injection.
+func ParseChaosProfile(s string) (ChaosProfile, error) {
+	if s == "" {
+		return ChaosNone, nil
+	}
+	for p, name := range chaosProfileNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("fastjoin: unknown chaos profile %q", s)
+}
+
+// MigrationOptions tunes FastJoin's dynamic load balancing. Only
+// meaningful for the migration-enabled kinds (KindFastJoin,
+// KindFastJoinSAFit); zero values get the paper's defaults.
+type MigrationOptions struct {
+	// Theta is the load imbalance threshold Θ (default 2.2, the paper's).
+	Theta float64
+	// Cooldown is the minimum time between migrations (default 1s).
+	Cooldown time.Duration
+	// SustainTicks is how many consecutive monitor evaluations must see
+	// LI > Theta before a migration triggers (default 3); 1 disables the
+	// hysteresis.
+	SustainTicks int
+	// MinBenefit is GreedyFit's θ_gap (default 1).
+	MinBenefit int64
+	// AbortTimeout bounds a migration's marker handshake: if the forward
+	// markers have not all arrived after this long (measured in
+	// StatsInterval ticks), the migration aborts and rolls back to the
+	// pre-migration routing without losing or duplicating results.
+	// 0 disables aborts (a stuck handshake then relies on re-broadcast
+	// alone).
+	AbortTimeout time.Duration
+}
+
+// BatchOptions tunes the batched data plane.
+type BatchOptions struct {
+	// Size is the dispatcher's per-(stream, target) batch capacity: up to
+	// Size routed tuples travel as one message. 0 means the default
+	// (DefaultBatchSize); 1 disables batching (the A/B baseline).
+	Size int
+	// Linger bounds how long a partially filled batch may wait in a busy
+	// dispatcher before a tick flushes it (default 2ms).
+	Linger time.Duration
+}
+
+// WindowOptions enables window-based join semantics.
+type WindowOptions struct {
+	// Span is the join window; 0 means full-history join.
+	Span time.Duration
+	// SubWindows is the sub-window count when Span > 0 (default 8).
+	SubWindows int
+}
+
+// ChaosOptions attaches a deterministic fault injector — for testing and
+// fault drills only.
+type ChaosOptions struct {
+	// Profile selects what to inject (default ChaosNone: nothing).
+	Profile ChaosProfile
+	// Seed seeds the injector's per-lane random streams, so a run
+	// replays exactly.
+	Seed int64
+}
+
+// ObserveOptions configures the live observability plane: the
+// control-plane migration tracer and the HTTP metrics endpoint.
+type ObserveOptions struct {
+	// Addr is the HTTP listen address of the observability endpoint
+	// (e.g. ":9144", or "127.0.0.1:0" for an ephemeral port — read the
+	// bound address back with System.ObserveAddr). It serves /metrics
+	// (Prometheus text format), /stats.json, /trace.json, and
+	// /debug/pprof. Empty disables the endpoint; the tracer still runs
+	// and System.Trace still works.
+	Addr string
+	// TraceCapacity is the control-plane trace ring's capacity in events
+	// (default 4096). The ring is bounded: under an event storm the
+	// oldest events are evicted, never allocated around.
+	TraceCapacity int
+}
+
+// Options configures a join system. Zero values get sensible defaults;
+// Validate (called by New) normalizes them all in one place.
+//
+// The flat migration/batch/window/chaos fields below are deprecated
+// aliases of the nested sub-structs, honored for one release: when a
+// nested field is zero, its flat alias is consulted. After Validate the
+// nested structs are authoritative and the aliases mirror them.
+type Options struct {
+	// Kind selects the system (default KindFastJoin).
+	Kind Kind
+	// Joiners is the number of join instances per biclique side
+	// (default 4; the paper's cluster default is 48).
+	Joiners int
+	// Dispatchers and Shufflers size the dispatching component (default 2
+	// each).
+	Dispatchers int
+	Shufflers   int
+	// SubgroupSize is ContRand's subgroup size (default 2).
+	SubgroupSize int
+	// StatsInterval is the load-report/monitor period (default 100ms).
+	StatsInterval time.Duration
+	// Predicate optionally refines key-equality matches.
+	Predicate Predicate
+	// PreProcess, when set, rewrites every tuple before dispatching (the
+	// pre-processing unit's user-defined function). Must be safe for
+	// concurrent use.
+	PreProcess func(Tuple) Tuple
+	// OnResult, when set, receives every joined pair (result emission
+	// mode). When nil the system only counts pairs — the high-throughput
+	// mode benchmarks use.
+	OnResult func(JoinedPair)
+	// Sources feed the system; one ingestion task per source. Required.
+	Sources []TupleSource
+	// QueueSize bounds each task's input queue (backpressure;
+	// default 1024).
+	QueueSize int
+	// ServiceRate, when positive, emulates per-node compute capacity:
+	// each join instance is limited to ServiceRate virtual ops/second
+	// (1 op per store, 1 + MatchCost per scanned tuple per probe). The
+	// benchmark harness uses it so cluster-scale behaviour reproduces on
+	// small hosts; 0 disables the emulation.
+	ServiceRate float64
+	// MatchCost is the virtual op cost per scanned stored tuple
+	// (default 0.01 when ServiceRate is set).
+	MatchCost float64
+	// Seed derandomizes placement.
+	Seed uint64
+	// StoreKind selects the window-store implementation (default
+	// StoreChunked).
+	StoreKind StoreKind
+
+	// Migration tunes the dynamic load balancer of the migration-enabled
+	// kinds.
+	Migration MigrationOptions
+	// Batching tunes the batched data plane.
+	Batching BatchOptions
+	// Windowing enables window-based join semantics.
+	Windowing WindowOptions
+	// Chaos attaches a deterministic fault injector.
+	Chaos ChaosOptions
+	// Observe configures the migration tracer and the HTTP observability
+	// endpoint.
+	Observe ObserveOptions
+
+	// Theta is the load imbalance threshold Θ.
+	//
+	// Deprecated: use Migration.Theta.
+	Theta float64
+	// Cooldown is the minimum time between migrations.
+	//
+	// Deprecated: use Migration.Cooldown.
+	Cooldown time.Duration
+	// SustainTicks is the monitor's trigger hysteresis.
+	//
+	// Deprecated: use Migration.SustainTicks.
+	SustainTicks int
+	// MinBenefit is GreedyFit's θ_gap.
+	//
+	// Deprecated: use Migration.MinBenefit.
+	MinBenefit int64
+	// AbortTimeout bounds the migration marker handshake.
+	//
+	// Deprecated: use Migration.AbortTimeout.
+	AbortTimeout time.Duration
+	// BatchSize is the data-plane batch capacity.
+	//
+	// Deprecated: use Batching.Size.
+	BatchSize int
+	// BatchLinger bounds a partial batch's wait.
+	//
+	// Deprecated: use Batching.Linger.
+	BatchLinger time.Duration
+	// Window is the join window span.
+	//
+	// Deprecated: use Windowing.Span.
+	Window time.Duration
+	// SubWindows is the sub-window count.
+	//
+	// Deprecated: use Windowing.SubWindows.
+	SubWindows int
+	// ChaosProfile names a fault-injection profile ("none", "droponly",
+	// "delayonly", "duponly", "mixed", "abortstorm").
+	//
+	// Deprecated: use Chaos.Profile.
+	ChaosProfile string
+	// ChaosSeed seeds the chaos injector.
+	//
+	// Deprecated: use Chaos.Seed.
+	ChaosSeed int64
+	// Store names the window-store implementation ("chunked" or "map").
+	//
+	// Deprecated: use StoreKind.
+	Store string
+}
+
+// Validate folds the deprecated flat aliases into the nested sub-structs,
+// fills every default in one place, and rejects invalid combinations.
+// New calls it on its own copy; callers may also invoke it directly to
+// inspect the effective configuration. It is idempotent.
+func (o *Options) Validate() error {
+	// Fold deprecated aliases into their nested homes. A non-zero nested
+	// field always wins over its alias.
+	if o.Migration.Theta == 0 {
+		o.Migration.Theta = o.Theta
+	}
+	if o.Migration.Cooldown == 0 {
+		o.Migration.Cooldown = o.Cooldown
+	}
+	if o.Migration.SustainTicks == 0 {
+		o.Migration.SustainTicks = o.SustainTicks
+	}
+	if o.Migration.MinBenefit == 0 {
+		o.Migration.MinBenefit = o.MinBenefit
+	}
+	if o.Migration.AbortTimeout == 0 {
+		o.Migration.AbortTimeout = o.AbortTimeout
+	}
+	if o.Batching.Size == 0 {
+		o.Batching.Size = o.BatchSize
+	}
+	if o.Batching.Linger == 0 {
+		o.Batching.Linger = o.BatchLinger
+	}
+	if o.Windowing.Span == 0 {
+		o.Windowing.Span = o.Window
+	}
+	if o.Windowing.SubWindows == 0 {
+		o.Windowing.SubWindows = o.SubWindows
+	}
+	if o.Chaos.Seed == 0 {
+		o.Chaos.Seed = o.ChaosSeed
+	}
+	if o.Chaos.Profile == ChaosNone && o.ChaosProfile != "" {
+		p, err := ParseChaosProfile(o.ChaosProfile)
+		if err != nil {
+			return err
+		}
+		o.Chaos.Profile = p
+	}
+	if o.StoreKind == StoreChunked && o.Store != "" {
+		k, err := ParseStoreKind(o.Store)
+		if err != nil {
+			return err
+		}
+		o.StoreKind = k
+	}
+
+	// Validation.
+	if o.Kind > KindBroadcast {
+		return fmt.Errorf("fastjoin: unknown system kind %v", o.Kind)
+	}
+	if _, ok := chaosProfileNames[o.Chaos.Profile]; !ok {
+		return fmt.Errorf("fastjoin: unknown chaos profile %v", o.Chaos.Profile)
+	}
+	if o.StoreKind > StoreMap {
+		return fmt.Errorf("fastjoin: unknown store kind %v", o.StoreKind)
+	}
+	if o.Batching.Size < 0 {
+		return fmt.Errorf("fastjoin: negative batch size")
+	}
+	if o.Windowing.Span < 0 {
+		return fmt.Errorf("fastjoin: negative window span")
+	}
+	if o.ServiceRate < 0 {
+		return fmt.Errorf("fastjoin: negative ServiceRate")
+	}
+
+	// Defaults, normalized here instead of scattering them across New and
+	// biclique.Config.Validate (which still backstops direct users of the
+	// internal package).
+	if o.Joiners <= 0 {
+		o.Joiners = 4
+	}
+	if o.Dispatchers <= 0 {
+		o.Dispatchers = 2
+	}
+	if o.Shufflers <= 0 {
+		o.Shufflers = 2
+	}
+	if o.SubgroupSize <= 0 {
+		o.SubgroupSize = 2
+	}
+	if o.StatsInterval <= 0 {
+		o.StatsInterval = 100 * time.Millisecond
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.ServiceRate > 0 && o.MatchCost <= 0 {
+		o.MatchCost = 0.01
+	}
+	if o.Batching.Size == 0 {
+		o.Batching.Size = DefaultBatchSize
+	}
+	if o.Batching.Linger <= 0 {
+		o.Batching.Linger = 2 * time.Millisecond
+	}
+	if o.Windowing.Span > 0 && o.Windowing.SubWindows <= 0 {
+		o.Windowing.SubWindows = 8
+	}
+	if o.Kind == KindFastJoin || o.Kind == KindFastJoinSAFit {
+		if o.Migration.Theta <= 1 {
+			o.Migration.Theta = 2.2
+		}
+		if o.Migration.Cooldown <= 0 {
+			o.Migration.Cooldown = time.Second
+		}
+		if o.Migration.SustainTicks <= 0 {
+			o.Migration.SustainTicks = 3
+		}
+		if o.Migration.MinBenefit <= 0 {
+			o.Migration.MinBenefit = 1
+		}
+	}
+	if o.Observe.TraceCapacity <= 0 {
+		o.Observe.TraceCapacity = obs.DefaultTraceCapacity
+	}
+
+	// Mirror the merged values back into the aliases so legacy readers of
+	// the struct observe the effective configuration.
+	o.Theta = o.Migration.Theta
+	o.Cooldown = o.Migration.Cooldown
+	o.SustainTicks = o.Migration.SustainTicks
+	o.MinBenefit = o.Migration.MinBenefit
+	o.AbortTimeout = o.Migration.AbortTimeout
+	o.BatchSize = o.Batching.Size
+	o.BatchLinger = o.Batching.Linger
+	o.Window = o.Windowing.Span
+	o.SubWindows = o.Windowing.SubWindows
+	o.ChaosSeed = o.Chaos.Seed
+	o.ChaosProfile = o.Chaos.Profile.String()
+	o.Store = o.StoreKind.String()
+	return nil
+}

@@ -1,0 +1,190 @@
+package fastjoin
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFoldsDeprecatedAliases(t *testing.T) {
+	o := Options{
+		Kind:         KindFastJoin,
+		Theta:        3.5,
+		Cooldown:     250 * time.Millisecond,
+		SustainTicks: 5,
+		MinBenefit:   77,
+		AbortTimeout: 4 * time.Second,
+		BatchSize:    16,
+		BatchLinger:  7 * time.Millisecond,
+		Window:       9 * time.Second,
+		SubWindows:   4,
+		ChaosProfile: "mixed",
+		ChaosSeed:    99,
+		Store:        "map",
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Migration.Theta != 3.5 || o.Migration.Cooldown != 250*time.Millisecond ||
+		o.Migration.SustainTicks != 5 || o.Migration.MinBenefit != 77 ||
+		o.Migration.AbortTimeout != 4*time.Second {
+		t.Errorf("migration aliases not folded: %+v", o.Migration)
+	}
+	if o.Batching != (BatchOptions{Size: 16, Linger: 7 * time.Millisecond}) {
+		t.Errorf("batch aliases not folded: %+v", o.Batching)
+	}
+	if o.Windowing != (WindowOptions{Span: 9 * time.Second, SubWindows: 4}) {
+		t.Errorf("window aliases not folded: %+v", o.Windowing)
+	}
+	if o.Chaos != (ChaosOptions{Profile: ChaosMixed, Seed: 99}) {
+		t.Errorf("chaos aliases not folded: %+v", o.Chaos)
+	}
+	if o.StoreKind != StoreMap {
+		t.Errorf("store alias not folded: %v", o.StoreKind)
+	}
+}
+
+func TestValidateNestedWinsOverAlias(t *testing.T) {
+	o := Options{
+		Kind:      KindFastJoin,
+		Theta:     9.9,
+		Migration: MigrationOptions{Theta: 1.5},
+		Store:     "map",
+		StoreKind: StoreChunked, // zero value: alias must win here
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Migration.Theta != 1.5 {
+		t.Errorf("nested Theta overridden by alias: %v", o.Migration.Theta)
+	}
+	if o.Theta != 1.5 {
+		t.Errorf("alias not mirrored back: %v", o.Theta)
+	}
+	if o.StoreKind != StoreMap {
+		t.Errorf("zero StoreKind did not defer to Store alias: %v", o.StoreKind)
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	o := Options{Kind: KindFastJoin, Windowing: WindowOptions{Span: time.Second}}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Joiners != 4 || o.Dispatchers != 2 || o.Shufflers != 2 || o.QueueSize != 1024 {
+		t.Errorf("topology defaults: joiners=%d dispatchers=%d shufflers=%d queue=%d",
+			o.Joiners, o.Dispatchers, o.Shufflers, o.QueueSize)
+	}
+	if o.Migration.Theta != 2.2 || o.Migration.Cooldown != time.Second ||
+		o.Migration.SustainTicks != 3 || o.Migration.MinBenefit != 1 {
+		t.Errorf("migration defaults: %+v", o.Migration)
+	}
+	if o.Batching.Size != DefaultBatchSize || o.Batching.Linger != 2*time.Millisecond {
+		t.Errorf("batch defaults: %+v", o.Batching)
+	}
+	if o.Windowing.SubWindows != 8 {
+		t.Errorf("sub-window default: %d", o.Windowing.SubWindows)
+	}
+	if o.Observe.TraceCapacity != 4096 {
+		t.Errorf("trace capacity default: %d", o.Observe.TraceCapacity)
+	}
+	// Idempotent: a second pass changes nothing.
+	before := o
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Migration != before.Migration || o.Batching != before.Batching ||
+		o.Windowing != before.Windowing || o.Observe != before.Observe {
+		t.Error("Validate is not idempotent")
+	}
+
+	// Baselines do not get migration defaults forced on them.
+	b := Options{Kind: KindBiStream}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Migration.Theta != 0 {
+		t.Errorf("baseline got migration defaults: %+v", b.Migration)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"bad store alias", Options{Store: "bogus"}, "unknown store"},
+		{"bad chaos alias", Options{ChaosProfile: "bogus"}, "unknown chaos profile"},
+		{"bad store kind", Options{StoreKind: StoreKind(9)}, "unknown store"},
+		{"bad chaos kind", Options{Chaos: ChaosOptions{Profile: ChaosProfile(9)}}, "unknown chaos profile"},
+		{"bad kind", Options{Kind: Kind(42)}, "unknown system kind"},
+		{"negative batch", Options{Batching: BatchOptions{Size: -1}}, "batch"},
+		{"negative window", Options{Windowing: WindowOptions{Span: -time.Second}}, "window"},
+	}
+	for _, c := range cases {
+		err := c.o.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStoreKindRoundTrip(t *testing.T) {
+	for _, k := range []StoreKind{StoreChunked, StoreMap} {
+		got, err := ParseStoreKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseStoreKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := ParseStoreKind(""); err != nil || k != StoreChunked {
+		t.Errorf(`ParseStoreKind("") = %v, %v; want chunked default`, k, err)
+	}
+	if _, err := ParseStoreKind("bogus"); err == nil {
+		t.Error("bogus store accepted")
+	}
+}
+
+func TestChaosProfileRoundTrip(t *testing.T) {
+	all := []ChaosProfile{ChaosNone, ChaosDropOnly, ChaosDelayOnly, ChaosDupOnly, ChaosMixed, ChaosAbortStorm}
+	for _, p := range all {
+		got, err := ParseChaosProfile(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseChaosProfile(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if p, err := ParseChaosProfile(""); err != nil || p != ChaosNone {
+		t.Errorf(`ParseChaosProfile("") = %v, %v; want none`, p, err)
+	}
+	if _, err := ParseChaosProfile("bogus"); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
+
+// TestFlatOptionsStillWork runs a small system configured entirely through
+// the deprecated flat fields — the one-release compatibility promise.
+func TestFlatOptionsStillWork(t *testing.T) {
+	sys, err := New(Options{
+		Kind:     KindFastJoin,
+		Joiners:  2,
+		Sources:  []TupleSource{finiteSource(400, 8)},
+		Theta:    1.5,
+		Cooldown: 20 * time.Millisecond,
+		Store:    "map",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitComplete(time.Minute); err != nil {
+		sys.Stop()
+		t.Fatal(err)
+	}
+	sys.Stop()
+	if sys.Stats().Results == 0 {
+		t.Error("flat-configured system joined nothing")
+	}
+}
