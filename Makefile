@@ -9,7 +9,7 @@ RACE_FAST_PKGS = ./internal/engine ./internal/biclique ./internal/transport
 CHAOS_RUNS ?= 50
 FUZZTIME   ?= 20s
 
-.PHONY: build test lint vet race race-fast bench bench-smoke obs-smoke chaos fuzz-short cover ci
+.PHONY: build test lint vet race race-fast bench bench-smoke obs-smoke chaos fuzz-short cover escape-gate ci
 
 build:
 	$(GO) build $(PKGS)
@@ -20,10 +20,11 @@ test:
 vet:
 	$(GO) vet $(PKGS)
 
-## lint: fastjoin-lint (unboundedchan, lockguard, goroutinestop, panicpath)
-## plus the stock go vet passes. See LINTING.md.
+## lint: fastjoin-lint (unboundedchan, lockguard, goroutinestop, panicpath,
+## spanstate, chaosclass, atomicfield) plus the stock go vet passes, with
+## per-analyzer finding counts and wall time. See LINTING.md.
 lint:
-	$(GO) run ./cmd/fastjoin-lint $(PKGS)
+	$(GO) run ./cmd/fastjoin-lint -stats $(PKGS)
 
 ## race: the full race-enabled test run the CI gate enforces.
 race:
@@ -77,5 +78,12 @@ fuzz-short:
 cover:
 	./scripts/coverage_gate.sh
 
+## escape-gate: diff heap escapes in //lint:hotpath functions against
+## ci/escape_baseline.txt (scripts/escape_gate.sh). A new escape on a hot
+## path fails; admit intentional ones with
+##   go run ./cmd/fastjoin-escape -update
+escape-gate:
+	./scripts/escape_gate.sh
+
 ## ci: everything the CI workflow gates on. `lint` includes go vet.
-ci: build lint test race obs-smoke
+ci: build lint escape-gate test race obs-smoke

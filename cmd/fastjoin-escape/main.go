@@ -1,0 +1,157 @@
+// Command fastjoin-escape is the compiler-backed escape gate: it rebuilds
+// the hot-path packages with -gcflags=-m, attributes the heap-escape
+// diagnostics to functions annotated //lint:hotpath, and diffs them
+// against the checked-in baseline. A new escape in a hot function fails
+// the gate (exit 1); escapes elsewhere are the compiler's business.
+//
+// Usage:
+//
+//	go run ./cmd/fastjoin-escape [-baseline ci/escape_baseline.txt] [-update] [packages...]
+//
+// With no package arguments it gates the default hot set (internal/window,
+// internal/biclique, internal/engine). -update rewrites the baseline from
+// the current build instead of diffing, which is how an intentional,
+// reviewed escape is admitted.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"fastjoin/internal/lint/escape"
+)
+
+var defaultPackages = []string{"./internal/window", "./internal/biclique", "./internal/engine"}
+
+func main() {
+	baselinePath := flag.String("baseline", "ci/escape_baseline.txt", "baseline file to diff against")
+	update := flag.Bool("update", false, "rewrite the baseline from the current build")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = defaultPackages
+	}
+
+	current, err := currentEscapes(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastjoin-escape: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		if err := os.WriteFile(*baselinePath, []byte(baselineHeader+escape.Format(current)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fastjoin-escape: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("fastjoin-escape: baseline %s rewritten with %d entries\n", *baselinePath, len(current))
+		return
+	}
+
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastjoin-escape: %v (run with -update to create it)\n", err)
+		os.Exit(2)
+	}
+	baseline, err := escape.ParseBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastjoin-escape: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	fresh, stale := escape.Diff(current, baseline)
+	for _, f := range stale {
+		fmt.Printf("fastjoin-escape: note: baseline entry no longer produced: %s %s: %s\n", f.File, f.Func, f.Msg)
+	}
+	if len(stale) > 0 {
+		fmt.Printf("fastjoin-escape: note: refresh with `go run ./cmd/fastjoin-escape -update`\n")
+	}
+	if len(fresh) > 0 {
+		for _, f := range fresh {
+			fmt.Printf("fastjoin-escape: NEW heap escape in hotpath %s (%s): %s\n", f.Func, f.File, f.Msg)
+		}
+		fmt.Printf("fastjoin-escape: %d new escape(s); eliminate the allocation or admit it with -update in a reviewed change\n", len(fresh))
+		os.Exit(1)
+	}
+	fmt.Printf("fastjoin-escape: ok (%d baselined escape(s) across %d package(s))\n", total(baseline), len(patterns))
+}
+
+const baselineHeader = `# Heap escapes in //lint:hotpath functions, as reported by go build -gcflags=-m.
+# Maintained by cmd/fastjoin-escape; refresh with: go run ./cmd/fastjoin-escape -update
+# Fields: file<TAB>function<TAB>count<TAB>compiler message
+`
+
+func total(counts map[escape.Finding]int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// currentEscapes rebuilds patterns with -gcflags=-m and attributes the
+// escape diagnostics to hotpath regions.
+func currentEscapes(patterns []string) (map[escape.Finding]int, error) {
+	regions, err := hotpathRegions(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// -m prints to stderr; the build cache replays diagnostics, so warm
+	// runs are cheap and repeatable.
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, patterns...)...)
+	var out bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+	diags, err := escape.ParseDiagnostics(&out)
+	if err != nil {
+		return nil, err
+	}
+	return escape.Counts(escape.Attribute(diags, regions)), nil
+}
+
+// hotpathRegions resolves patterns to directories via go list and scans
+// them for //lint:hotpath functions, recording files the way the
+// compiler will print them (relative to the working directory).
+func hotpathRegions(patterns []string) ([]escape.Region, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Dir"}, patterns...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var regions []escape.Region
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var e struct{ ImportPath, Dir string }
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(wd, e.Dir)
+		if err != nil {
+			rel = e.Dir
+		}
+		rs, err := escape.HotpathsDir(e.Dir, rel)
+		if err != nil {
+			return nil, err
+		}
+		regions = append(regions, rs...)
+	}
+	return regions, nil
+}

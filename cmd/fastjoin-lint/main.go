@@ -1,15 +1,20 @@
 // Command fastjoin-lint is the project's concurrency multichecker: it runs
 // the codebase-aware analyzers of internal/lint (unboundedchan, lockguard,
-// goroutinestop, panicpath) and, by default, the stock `go vet` passes over
-// the same packages.
+// goroutinestop, panicpath, spanstate, chaosclass, atomicfield) and, by
+// default, the stock `go vet` passes over the same packages.
 //
 // Usage:
 //
-//	go run ./cmd/fastjoin-lint [-list] [-vet=false] [packages...]
+//	go run ./cmd/fastjoin-lint [-list] [-stats] [-vet=false] [packages...]
 //
-// With no package arguments it analyzes ./.... The exit status is non-zero
-// if any analyzer reports a finding or go vet fails, which is what `make
-// lint` and the CI gate key on. Findings are suppressed line-by-line with
+// With no package arguments it analyzes ./.... Packages are analyzed in
+// dependency order with a shared fact store, so the cross-package
+// analyzers (spanstate's span-rule table, chaosclass registries,
+// atomicfield object facts) see facts exported by the packages they
+// import. The exit status is non-zero if any analyzer reports a finding
+// or go vet fails, which is what `make lint` and the CI gate key on.
+// -stats prints a per-analyzer finding count and the analysis wall time
+// to stderr. Findings are suppressed line-by-line with
 //
 //	//lint:allow <analyzer> <justification>
 //
@@ -23,6 +28,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"fastjoin/internal/lint"
 	"fastjoin/internal/lint/analysis"
@@ -32,6 +38,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	vet := flag.Bool("vet", true, "also run the stock go vet passes")
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts and wall time to stderr")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -47,10 +54,22 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
+	start := time.Now()
 	pkgs, err := loader.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fastjoin-lint: %v\n", err)
 		os.Exit(2)
+	}
+	loadTime := time.Since(start)
+
+	units := make([]*analysis.Unit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = &analysis.Unit{
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
 	}
 
 	type finding struct {
@@ -60,28 +79,23 @@ func main() {
 		message   string
 	}
 	var findings []finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				Report: func(d analysis.Diagnostic) {
-					pos := pkg.Fset.Position(d.Pos)
-					findings = append(findings, finding{
-						file: relPath(pos.Filename), line: pos.Line, col: pos.Column,
-						category: d.Category, message: d.Message,
-					})
-				},
-			}
-			if _, err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "fastjoin-lint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
-				os.Exit(2)
-			}
-		}
+	counts := make(map[string]int)
+	analyzeStart := time.Now()
+	err = analysis.Run(units, analyzers, analysis.NewFactStore(),
+		func(u *analysis.Unit, d analysis.Diagnostic) {
+			pos := u.Fset.Position(d.Pos)
+			counts[d.Category]++
+			findings = append(findings, finding{
+				file: relPath(pos.Filename), line: pos.Line, col: pos.Column,
+				category: d.Category, message: d.Message,
+			})
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastjoin-lint: %v\n", err)
+		os.Exit(2)
 	}
+	analyzeTime := time.Since(analyzeStart)
+
 	sort.Slice(findings, func(i, j int) bool {
 		if findings[i].file != findings[j].file {
 			return findings[i].file < findings[j].file
@@ -93,6 +107,14 @@ func main() {
 	})
 	for _, f := range findings {
 		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.message, f.category)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "fastjoin-lint: %d packages, load %s, analyze %s\n",
+			len(pkgs), loadTime.Round(time.Millisecond), analyzeTime.Round(time.Millisecond))
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %d finding(s)\n", a.Name, counts[a.Name])
+		}
 	}
 
 	failed := len(findings) > 0

@@ -161,6 +161,7 @@ func (b *dispatcherBolt) Prepare(ctx engine.Context, _ *engine.Collector) {
 	}
 }
 
+//lint:hotpath
 func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 	switch v := m.Value.(type) {
 	case stream.Tuple:
@@ -229,6 +230,8 @@ func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 }
 
 // routeTuple sends the store copy and the probe copies.
+//
+//lint:hotpath
 func (b *dispatcherBolt) routeTuple(t stream.Tuple, out *engine.Collector) {
 	now := stream.Now()
 	b.seq++
@@ -248,6 +251,8 @@ func (b *dispatcherBolt) routeTuple(t stream.Tuple, out *engine.Collector) {
 
 // emitTuple delivers one routed tuple to its lane: directly when batching
 // is off, otherwise into the lane's open batch, flushing at capacity.
+//
+//lint:hotpath
 func (b *dispatcherBolt) emitTuple(side stream.Side, target int, tm TupleMsg, out *engine.Collector) {
 	if b.batch <= 1 {
 		out.EmitDirect(tupleStream(side), target, tm)

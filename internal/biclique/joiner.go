@@ -193,6 +193,7 @@ func (b *joinerBolt) consume(cost float64) {
 	}
 }
 
+//lint:hotpath
 func (b *joinerBolt) Execute(m engine.Message, out *engine.Collector) {
 	// Deferred so the accumulated pairs ship even when handleBatch re-raises
 	// an isolated per-tuple panic: the matches of the healthy tuples in the
@@ -270,6 +271,8 @@ func (b *joinerBolt) replay(tm TupleMsg, out *engine.Collector) {
 
 // handleTuple stores or probes one tuple, honoring the two migration
 // buffers.
+//
+//lint:hotpath
 func (b *joinerBolt) handleTuple(tm TupleMsg, out *engine.Collector) {
 	key := tm.T.Key
 	if b.migrating && b.migKeys[key] {
@@ -297,6 +300,8 @@ func (b *joinerBolt) handleTuple(tm TupleMsg, out *engine.Collector) {
 }
 
 // probe joins one opposite-stream tuple against the store.
+//
+//lint:hotpath
 func (b *joinerBolt) probe(tm TupleMsg, out *engine.Collector) {
 	key := tm.T.Key
 	b.probesInterval++
@@ -331,6 +336,8 @@ func (b *joinerBolt) probe(tm TupleMsg, out *engine.Collector) {
 // when it fills. Emitting pairs by the batch instead of one Emit per pair
 // removes the per-pair message-envelope allocation that dominated the probe
 // path on hot keys.
+//
+//lint:hotpath
 func (b *joinerBolt) appendPair(p stream.JoinedPair, out *engine.Collector) {
 	if b.pairs == nil {
 		b.pairs = getPairBatch()
@@ -343,6 +350,8 @@ func (b *joinerBolt) appendPair(p stream.JoinedPair, out *engine.Collector) {
 
 // flushPairs emits the accumulated result batch, handing ownership to the
 // sink (which returns the batch to the pool after draining it).
+//
+//lint:hotpath
 func (b *joinerBolt) flushPairs(out *engine.Collector) {
 	if b.pairs == nil || len(b.pairs.Pairs) == 0 {
 		return
@@ -353,6 +362,8 @@ func (b *joinerBolt) flushPairs(out *engine.Collector) {
 
 // makePair orients (stored, probing) into (R, S); joinedAt is the
 // probe's clock read (one per probe, shared by every pair it yields).
+//
+//lint:hotpath
 func (b *joinerBolt) makePair(stored, probing stream.Tuple, joinedAt int64) stream.JoinedPair {
 	p := stream.JoinedPair{
 		StoreSide: b.side,

@@ -145,6 +145,8 @@ func Submit(t *Topology, cfg Config) (*LocalCluster, error) {
 
 // send enqueues m, counting it as pending. It blocks under backpressure and
 // aborts (returning false) if the cluster stops.
+//
+//lint:hotpath
 func (c *LocalCluster) send(q chan Message, m Message) bool {
 	c.pending.Add(1)
 	select {
@@ -248,6 +250,8 @@ func (c *LocalCluster) runBolt(tk *task) {
 // count, which is what makes the quiescence invariant hold: an open batch
 // can only survive dispatch if another message is queued for the task,
 // so pending stays positive until the batch is delivered.
+//
+//lint:hotpath
 func (c *LocalCluster) dispatch(tk *task, m Message) {
 	defer c.pending.Add(-1)
 	// Sample the backlog left behind by this dequeue. Only this goroutine
@@ -263,6 +267,8 @@ func (c *LocalCluster) dispatch(tk *task, m Message) {
 }
 
 // execute runs the stall hook and the bolt callback with panic isolation.
+//
+//lint:hotpath
 func (c *LocalCluster) execute(tk *task, m Message) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -321,6 +327,8 @@ func (c *LocalCluster) runTicker(tk *task, every time.Duration) {
 // route fans one emitted value out according to a subscription. The
 // per-target delivery lives in the enqueueOne method (not a closure) so
 // the hot emit path costs no allocation beyond the value's own boxing.
+//
+//lint:hotpath
 func (c *LocalCluster) route(tk *task, sub *runtimeSub, value any, directTask int) {
 	m := Message{
 		FromComp: tk.ctx.Component,
@@ -351,6 +359,8 @@ func (c *LocalCluster) route(tk *task, sub *runtimeSub, value any, directTask in
 
 // enqueueOne delivers one routed message to one target task, running the
 // fault injector if configured.
+//
+//lint:hotpath
 func (c *LocalCluster) enqueueOne(tk *task, sub *runtimeSub, m Message, target *task) {
 	q := target.data
 	if sub.control {

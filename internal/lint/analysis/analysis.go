@@ -36,6 +36,14 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
+	// Requires lists analyzers that must run on the same package first;
+	// their results are available through Pass.ResultOf. The driver
+	// expands the closure and orders it topologically.
+	Requires []*Analyzer
+	// FactTypes declares the fact types this analyzer exports or imports
+	// (one zero value per type). Using an undeclared fact type panics,
+	// as in x/tools.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding of an analyzer.
@@ -57,6 +65,14 @@ type Pass struct {
 	// Report receives every diagnostic that survives //lint:allow
 	// filtering. The driver sets it.
 	Report func(Diagnostic)
+
+	// ResultOf holds the results of this package's runs of the analyzers
+	// named in Analyzer.Requires.
+	ResultOf map[*Analyzer]any
+
+	// facts is the driver-wide fact store; use the
+	// Import/ExportPackageFact and Import/ExportObjectFact methods.
+	facts *FactStore
 
 	allow map[allowKey]bool
 }

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// Fact is a datum one analyzer computes about a package or object and a
+// later pass (of the same analyzer, possibly on a different package) can
+// import. It mirrors golang.org/x/tools/go/analysis.Fact, minus the gob
+// serialization: the fastjoin-lint driver runs every package in one
+// process, so facts are held live in memory.
+//
+// An analyzer must declare every fact type it exports or imports in its
+// FactTypes list; exporting an undeclared fact type is a programming
+// error and panics.
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact()
+}
+
+// factKey addresses one fact: a package path (for package facts) or a
+// package path plus a stable object key (for object facts), crossed with
+// the dynamic type of the fact.
+type factKey struct {
+	pkg string
+	obj string // "" for package facts
+	typ string
+}
+
+// FactStore holds the facts exported by every analyzer across one driver
+// run. One store is shared by all passes; the zero value is not usable —
+// use NewFactStore.
+//
+// Object facts are keyed by a structural object key rather than object
+// identity, because a package loaded from syntax and the same package
+// imported from export data materialize distinct types.Object values.
+// See ObjectKey for the supported object shapes.
+type FactStore struct {
+	mu    sync.Mutex
+	facts map[factKey]Fact
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[factKey]Fact)}
+}
+
+func (s *FactStore) set(k factKey, f Fact) {
+	s.mu.Lock()
+	s.facts[k] = f
+	s.mu.Unlock()
+}
+
+func (s *FactStore) get(k factKey) (Fact, bool) {
+	s.mu.Lock()
+	f, ok := s.facts[k]
+	s.mu.Unlock()
+	return f, ok
+}
+
+// ObjectKey derives a stable, identity-free key for obj, usable across
+// the syntax-checked and export-data views of the same package. Supported
+// shapes:
+//
+//   - package-scope objects (types, funcs, vars, consts): their name;
+//   - struct fields of a package-scope named type: "Type.Field", found by
+//     scanning the object's package scope;
+//   - methods with a named receiver: "Type.Method".
+//
+// Objects that fit none of these (locals, fields of anonymous structs)
+// return "", and facts cannot be attached to them.
+func ObjectKey(obj types.Object) string {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	if scope.Lookup(obj.Name()) == obj {
+		return obj.Name()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			if named := namedOf(sig.Recv().Type()); named != nil {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+		}
+		return ""
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return name + "." + v.Name()
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to a named type, or returns nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// declaresFactType reports whether the pass's analyzer declared a fact of
+// the same dynamic type as f.
+func (p *Pass) declaresFactType(f Fact) bool {
+	for _, ft := range p.Analyzer.FactTypes {
+		if fmt.Sprintf("%T", ft) == fmt.Sprintf("%T", f) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) factCheck(f Fact) {
+	if p.facts == nil {
+		panic("analysis: pass has no fact store (driver must set Facts)") //lint:allow panicpath driver wiring bug, not a user input path
+	}
+	if !p.declaresFactType(f) {
+		panic(fmt.Sprintf("analysis: analyzer %s used fact type %T without declaring it in FactTypes", p.Analyzer.Name, f)) //lint:allow panicpath analyzer programming contract, mirrors x/tools behaviour
+	}
+}
+
+// ExportPackageFact records f as a fact about the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	p.factCheck(f)
+	p.facts.set(factKey{pkg: p.Pkg.Path(), typ: fmt.Sprintf("%T", f)}, f)
+}
+
+// ImportPackageFact reports whether a fact of ptr's type was exported for
+// pkg (by an earlier pass of this analyzer) and, if so, copies it into
+// ptr. ptr must be a pointer to the fact type, as with x/tools.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	p.factCheck(ptr)
+	f, ok := p.facts.get(factKey{pkg: pkg.Path(), typ: fmt.Sprintf("%T", ptr)})
+	if !ok {
+		return false
+	}
+	copyFact(f, ptr)
+	return true
+}
+
+// ExportObjectFact records f as a fact about obj. Objects that ObjectKey
+// cannot address are silently skipped (no cross-view identity exists for
+// them).
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	p.factCheck(f)
+	key := ObjectKey(obj)
+	if key == "" || obj.Pkg() == nil {
+		return
+	}
+	p.facts.set(factKey{pkg: obj.Pkg().Path(), obj: key, typ: fmt.Sprintf("%T", f)}, f)
+}
+
+// ImportObjectFact reports whether a fact of ptr's type is recorded for
+// obj and, if so, copies it into ptr.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	p.factCheck(ptr)
+	key := ObjectKey(obj)
+	if key == "" || obj.Pkg() == nil {
+		return false
+	}
+	f, ok := p.facts.get(factKey{pkg: obj.Pkg().Path(), obj: key, typ: fmt.Sprintf("%T", ptr)})
+	if !ok {
+		return false
+	}
+	copyFact(f, ptr)
+	return true
+}
+
+// copyFact copies the stored fact value into the caller's pointer. Facts
+// are pointer-typed by convention (x/tools requires it), and the typ
+// component of the key guarantees src and dst share a dynamic type, so a
+// shallow struct copy through reflection is exact.
+func copyFact(src, dst Fact) {
+	sv := reflect.ValueOf(src)
+	dv := reflect.ValueOf(dst)
+	if sv.Kind() != reflect.Pointer || dv.Kind() != reflect.Pointer || sv.IsNil() || dv.IsNil() {
+		panic(fmt.Sprintf("analysis: facts must be non-nil pointers, got %T / %T", src, dst)) //lint:allow panicpath analyzer programming contract, mirrors x/tools behaviour
+	}
+	dv.Elem().Set(sv.Elem())
+}

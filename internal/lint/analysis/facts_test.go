@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// testFact carries a payload so the copy semantics are observable.
+type testFact struct {
+	N int
+}
+
+func (*testFact) AFact() {}
+
+// otherFact is never declared by the test analyzer.
+type otherFact struct{}
+
+func (*otherFact) AFact() {}
+
+const factsSrc = `package p
+
+type Counter struct {
+	Hits int64
+	miss int64
+}
+
+func (c *Counter) Bump() { c.Hits++ }
+
+var Top int
+`
+
+// checkFacts type-checks factsSrc and returns a pass over it wired to a
+// fresh store.
+func checkFacts(t *testing.T) (*Pass, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", factsSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("example.com/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{
+		Analyzer: &Analyzer{
+			Name:      "facttest",
+			FactTypes: []Fact{(*testFact)(nil)},
+		},
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Pkg:   pkg,
+		facts: NewFactStore(),
+	}
+	return pass, pkg
+}
+
+func lookupField(t *testing.T, pkg *types.Package, typeName, field string) *types.Var {
+	t.Helper()
+	tn := pkg.Scope().Lookup(typeName).(*types.TypeName)
+	st := tn.Type().Underlying().(*types.Struct)
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return st.Field(i)
+		}
+	}
+	t.Fatalf("no field %s.%s", typeName, field)
+	return nil
+}
+
+func TestObjectKeyShapes(t *testing.T) {
+	_, pkg := checkFacts(t)
+	cases := []struct {
+		obj  types.Object
+		want string
+	}{
+		{pkg.Scope().Lookup("Counter"), "Counter"},
+		{pkg.Scope().Lookup("Top"), "Top"},
+		{lookupField(t, pkg, "Counter", "Hits"), "Counter.Hits"},
+		{lookupField(t, pkg, "Counter", "miss"), "Counter.miss"},
+	}
+	for _, c := range cases {
+		if got := ObjectKey(c.obj); got != c.want {
+			t.Errorf("ObjectKey(%v) = %q, want %q", c.obj, got, c.want)
+		}
+	}
+	// The method key goes through the receiver type.
+	tn := pkg.Scope().Lookup("Counter").(*types.TypeName)
+	named := tn.Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == "Bump" {
+			if got := ObjectKey(m); got != "Counter.Bump" {
+				t.Errorf("ObjectKey(Bump) = %q, want %q", got, "Counter.Bump")
+			}
+		}
+	}
+}
+
+func TestPackageFactRoundTrip(t *testing.T) {
+	pass, pkg := checkFacts(t)
+	var missing testFact
+	if pass.ImportPackageFact(pkg, &missing) {
+		t.Fatal("imported a package fact before any export")
+	}
+	pass.ExportPackageFact(&testFact{N: 42})
+	var got testFact
+	if !pass.ImportPackageFact(pkg, &got) || got.N != 42 {
+		t.Fatalf("package fact round trip: got %+v, ok=%v", got, got.N == 42)
+	}
+}
+
+// TestObjectFactCrossView exports a fact against the syntax-checked field
+// object and imports it through a distinct types.Var for the same field
+// (a second check of the same source), which is exactly the situation the
+// driver hits when an importer sees the field via export data.
+func TestObjectFactCrossView(t *testing.T) {
+	pass, pkg := checkFacts(t)
+	pass.ExportObjectFact(lookupField(t, pkg, "Counter", "Hits"), &testFact{N: 7})
+
+	_, pkg2 := checkFacts(t)
+	other := lookupField(t, pkg2, "Counter", "Hits")
+	if other == lookupField(t, pkg, "Counter", "Hits") {
+		t.Fatal("test defeated: both views share one object")
+	}
+	var got testFact
+	if !pass.ImportObjectFact(other, &got) || got.N != 7 {
+		t.Fatalf("object fact did not survive the view change: got %+v", got)
+	}
+	// A different field of the same struct stays clean.
+	var none testFact
+	if pass.ImportObjectFact(lookupField(t, pkg2, "Counter", "miss"), &none) {
+		t.Fatal("fact leaked to an unrelated field")
+	}
+}
+
+func TestUndeclaredFactTypePanics(t *testing.T) {
+	pass, _ := checkFacts(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exporting an undeclared fact type did not panic")
+		}
+	}()
+	pass.ExportPackageFact(&otherFact{})
+}

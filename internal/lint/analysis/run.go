@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unit is one loaded package as the runner consumes it: syntax plus type
+// information. The lint driver builds Units from loader.Packages; the
+// test harness builds them directly.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Expand returns the Requires closure of analyzers in topological order
+// (dependencies first, then the requested analyzers in their given
+// order). It reports a cycle or a nil entry as an error.
+func Expand(analyzers []*Analyzer) ([]*Analyzer, error) {
+	var (
+		out   []*Analyzer
+		state = make(map[*Analyzer]int) // 0 unseen, 1 visiting, 2 done
+		visit func(a *Analyzer) error
+	)
+	visit = func(a *Analyzer) error {
+		if a == nil {
+			return fmt.Errorf("analysis: nil analyzer in Requires")
+		}
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analysis: Requires cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, dep := range a.Requires {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		out = append(out, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sortUnits orders units so that every unit appears after the units it
+// imports (directly or transitively). Import edges to packages outside
+// the unit set are ignored; ties keep the input order.
+func sortUnits(units []*Unit) []*Unit {
+	byPath := make(map[string]*Unit, len(units))
+	for _, u := range units {
+		byPath[u.Pkg.Path()] = u
+	}
+	var (
+		out   []*Unit
+		state = make(map[*Unit]int)
+		visit func(u *Unit)
+	)
+	visit = func(u *Unit) {
+		if state[u] != 0 {
+			return // visiting (go/types forbids import cycles) or done
+		}
+		state[u] = 1
+		for _, imp := range u.Pkg.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[u] = 2
+		out = append(out, u)
+	}
+	for _, u := range units {
+		visit(u)
+	}
+	return out
+}
+
+// Run applies the analyzers (with their Requires closures) to every unit,
+// packages in dependency order so facts exported by a dependency are
+// visible when its importers are analyzed. report receives each
+// diagnostic together with the unit's FileSet; results and facts are
+// threaded internally. Run stops at the first analyzer error.
+func Run(units []*Unit, analyzers []*Analyzer, facts *FactStore,
+	report func(*Unit, Diagnostic)) error {
+
+	ordered, err := Expand(analyzers)
+	if err != nil {
+		return err
+	}
+	if facts == nil {
+		facts = NewFactStore()
+	}
+	for _, u := range sortUnits(units) {
+		results := make(map[*Analyzer]any, len(ordered))
+		for _, a := range ordered {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.TypesInfo,
+				ResultOf:  resultsFor(a, results),
+				facts:     facts,
+				Report: func(d Diagnostic) {
+					report(u, d)
+				},
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %v", a.Name, u.Pkg.Path(), err)
+			}
+			results[a] = res
+		}
+	}
+	return nil
+}
+
+// resultsFor narrows the package's accumulated results to the analyzers a
+// declared in Requires, so an analyzer cannot depend on an undeclared
+// result by accident.
+func resultsFor(a *Analyzer, all map[*Analyzer]any) map[*Analyzer]any {
+	if len(a.Requires) == 0 {
+		return nil
+	}
+	out := make(map[*Analyzer]any, len(a.Requires))
+	for _, dep := range a.Requires {
+		out[dep] = all[dep]
+	}
+	return out
+}

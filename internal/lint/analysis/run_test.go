@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+func names(as []*Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func TestExpandClosureOrder(t *testing.T) {
+	base := &Analyzer{Name: "base"}
+	mid := &Analyzer{Name: "mid", Requires: []*Analyzer{base}}
+	top := &Analyzer{Name: "top", Requires: []*Analyzer{mid, base}}
+	other := &Analyzer{Name: "other", Requires: []*Analyzer{base}}
+
+	got, err := Expand([]*Analyzer{top, other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"base", "mid", "top", "other"}
+	g := names(got)
+	if len(g) != len(want) {
+		t.Fatalf("Expand order %v, want %v", g, want)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("Expand order %v, want %v", g, want)
+		}
+	}
+}
+
+func TestExpandCycle(t *testing.T) {
+	a := &Analyzer{Name: "a"}
+	b := &Analyzer{Name: "b", Requires: []*Analyzer{a}}
+	a.Requires = []*Analyzer{b}
+	if _, err := Expand([]*Analyzer{a}); err == nil {
+		t.Fatal("Expand accepted a Requires cycle")
+	}
+}
+
+func TestExpandNil(t *testing.T) {
+	a := &Analyzer{Name: "a", Requires: []*Analyzer{nil}}
+	if _, err := Expand([]*Analyzer{a}); err == nil {
+		t.Fatal("Expand accepted a nil dependency")
+	}
+}
+
+// TestSortUnits checks the dependency reorder the runner relies on for
+// fact flow: go list hands packages back alphabetically, and in this repo
+// the fact *consumer* (biclique) sorts before the fact *producer* (obs).
+func TestSortUnits(t *testing.T) {
+	obs := types.NewPackage("fastjoin/internal/obs", "obs")
+	biclique := types.NewPackage("fastjoin/internal/biclique", "biclique")
+	biclique.SetImports([]*types.Package{obs})
+	engine := types.NewPackage("fastjoin/internal/engine", "engine")
+	engine.SetImports([]*types.Package{biclique, obs})
+
+	in := []*Unit{{Pkg: biclique}, {Pkg: engine}, {Pkg: obs}}
+	got := sortUnits(in)
+	pos := make(map[string]int)
+	for i, u := range got {
+		pos[u.Pkg.Name()] = i
+	}
+	if len(got) != 3 {
+		t.Fatalf("sortUnits dropped units: %d of 3", len(got))
+	}
+	if pos["obs"] > pos["biclique"] || pos["biclique"] > pos["engine"] {
+		order := make([]string, len(got))
+		for i, u := range got {
+			order[i] = u.Pkg.Name()
+		}
+		t.Fatalf("sortUnits order %v: importers must follow their imports", order)
+	}
+}

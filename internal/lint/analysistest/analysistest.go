@@ -11,6 +11,15 @@
 // test. Because expectations are positional, the harness also verifies the
 // //lint:allow escape hatch: an allowlisted line simply carries no want
 // comment.
+//
+// A test package may import other packages under testdata/src by their
+// src-relative path (GOPATH-style, e.g. `import "spanstate/obs"`). Local
+// imports are parsed and type-checked from source, analyzed first (in
+// dependency order) with a shared fact store, and their own want
+// comments are honoured — which is how the cross-package fact analyzers
+// (spanstate, chaosclass, atomicfield) are tested end to end. The
+// analyzer's Requires closure runs on every package; only the tested
+// analyzer's diagnostics are compared against the want comments.
 package analysistest
 
 import (
@@ -54,62 +63,70 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
+// testPkg is one parsed testdata package awaiting type-check.
+type testPkg struct {
+	path  string // src-relative import path, also the package key
+	dir   string
+	files []*ast.File
+	paths []string // file names, for want collection
+}
+
 func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
-	dir := filepath.Join(testdata, "src", pkg)
-	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
-	if err != nil || len(paths) == 0 {
-		t.Fatalf("%s: no Go files in %s", pkg, dir)
-	}
-	sort.Strings(paths)
-
+	src := filepath.Join(testdata, "src")
 	fset := token.NewFileSet()
-	var files []*ast.File
-	importSet := map[string]bool{}
-	for _, path := range paths {
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("%s: %v", pkg, err)
-		}
-		files = append(files, f)
-		for _, imp := range f.Imports {
-			p, err := strconv.Unquote(imp.Path.Value)
-			if err == nil && p != "unsafe" {
-				importSet[p] = true
-			}
-		}
+
+	// Load the target package and, recursively, every local import.
+	ordered, external, err := loadClosure(fset, src, pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
 	}
-	var imports []string
-	for p := range importSet {
-		imports = append(imports, p)
-	}
-	sort.Strings(imports)
-	exports, err := loader.ExportsFor(dir, imports)
+
+	exports, err := loader.ExportsFor(filepath.Join(src, pkg), external)
 	if err != nil {
 		t.Fatalf("%s: resolving imports: %v", pkg, err)
 	}
 
-	info := loader.NewTypesInfo()
-	conf := types.Config{Importer: loader.NewExportImporter(fset, exports)}
-	tpkg, err := conf.Check(pkg, fset, files, info)
-	if err != nil {
-		t.Fatalf("%s: typecheck: %v", pkg, err)
+	// Type-check in dependency order; local imports resolve to the
+	// already-checked packages, everything else to export data.
+	checked := make(map[string]*types.Package)
+	imp := &localImporter{
+		local: checked,
+		fileb: loader.NewExportImporter(fset, exports),
+	}
+	var units []*analysis.Unit
+	for _, tp := range ordered {
+		info := loader.NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(tp.path, fset, tp.files, info)
+		if err != nil {
+			t.Fatalf("%s: typecheck: %v", tp.path, err)
+		}
+		checked[tp.path] = tpkg
+		units = append(units, &analysis.Unit{
+			Fset: fset, Files: tp.files, Pkg: tpkg, TypesInfo: info,
+		})
 	}
 
+	// Run the analyzer (and its Requires closure) over the whole closure
+	// with one shared fact store; keep only the tested analyzer's
+	// diagnostics.
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       tpkg,
-		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
+	err = analysis.Run(units, []*analysis.Analyzer{a}, analysis.NewFactStore(),
+		func(_ *analysis.Unit, d analysis.Diagnostic) {
+			if d.Category == a.Name {
+				diags = append(diags, d)
+			}
+		})
+	if err != nil {
 		t.Fatalf("%s: analyzer %s: %v", pkg, a.Name, err)
 	}
 
-	expects, err := collectExpectations(paths)
+	var allFiles []string
+	for _, tp := range ordered {
+		allFiles = append(allFiles, tp.paths...)
+	}
+	expects, err := collectExpectations(allFiles)
 	if err != nil {
 		t.Fatalf("%s: %v", pkg, err)
 	}
@@ -125,6 +142,105 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 				pkg, e.pattern, e.file, e.line)
 		}
 	}
+}
+
+// loadClosure parses pkg and every transitively imported testdata-local
+// package, returning them dependency-first plus the union of external
+// (non-local) import paths.
+func loadClosure(fset *token.FileSet, src, pkg string) ([]*testPkg, []string, error) {
+	var (
+		ordered []*testPkg
+		state   = map[string]int{} // 1 visiting, 2 done
+		extSet  = map[string]bool{}
+		visit   func(path string) error
+	)
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		tp, imports, err := parseTestPkg(fset, src, path)
+		if err != nil {
+			return err
+		}
+		for _, im := range imports {
+			if dirExists(filepath.Join(src, im)) {
+				if err := visit(im); err != nil {
+					return err
+				}
+			} else if im != "unsafe" {
+				extSet[im] = true
+			}
+		}
+		state[path] = 2
+		ordered = append(ordered, tp)
+		return nil
+	}
+	if err := visit(pkg); err != nil {
+		return nil, nil, err
+	}
+	external := make([]string, 0, len(extSet))
+	for p := range extSet {
+		external = append(external, p)
+	}
+	sort.Strings(external)
+	return ordered, external, nil
+}
+
+// parseTestPkg parses the Go files of one testdata package.
+func parseTestPkg(fset *token.FileSet, src, path string) (*testPkg, []string, error) {
+	dir := filepath.Join(src, path)
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(paths)
+	tp := &testPkg{path: path, dir: dir, paths: paths}
+	importSet := map[string]bool{}
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		tp.files = append(tp.files, f)
+		for _, imp := range f.Imports {
+			if ip, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[ip] = true
+			}
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	return tp, imports, nil
+}
+
+func dirExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// localImporter resolves testdata-local packages to their source-checked
+// types.Package and delegates everything else to export data.
+type localImporter struct {
+	local map[string]*types.Package
+	fileb types.ImporterFrom
+}
+
+func (li *localImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *localImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := li.local[path]; ok {
+		return p, nil
+	}
+	return li.fileb.ImportFrom(path, dir, mode)
 }
 
 // collectExpectations scans the raw sources for want comments.

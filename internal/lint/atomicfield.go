@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fastjoin/internal/lint/analysis"
+)
+
+// AtomicFieldFact marks a struct field as accessed through sync/atomic
+// somewhere in the codebase. It is an object fact: once exported by the
+// declaring package's pass, importing packages see it too, so a bare
+// access in another package is caught even when all the atomic accesses
+// live elsewhere.
+type AtomicFieldFact struct{}
+
+// AFact marks AtomicFieldFact as a fact.
+func (*AtomicFieldFact) AFact() {}
+
+// AtomicField flags mixed atomic/plain access to a struct field: a field
+// whose address is passed to a sync/atomic function anywhere must be
+// accessed through sync/atomic everywhere. A plain read racing an
+// atomic.AddInt64 is a data race the race detector only catches when the
+// schedule cooperates, and it is the one mixed-access shape lockguard
+// does not cover (no mutex is involved at all).
+//
+// Fields of the typed atomic kinds (atomic.Int64 &c.) enforce atomicity
+// by construction and are out of scope. Intentional pre-publication
+// writes (constructor init before any goroutine exists) are silenced
+// with //lint:allow atomicfield <reason>.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "flags struct fields accessed both through sync/atomic and with plain " +
+		"reads/writes; mixed access is a data race the typed atomics would prevent",
+	Run:       runAtomicField,
+	FactTypes: []analysis.Fact{(*AtomicFieldFact)(nil)},
+}
+
+// atomicFns are the sync/atomic functions whose first argument is the
+// address of the accessed word.
+var atomicFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicField(pass *analysis.Pass) (any, error) {
+	// Pass 1: find every field whose address feeds a sync/atomic call and
+	// export the fact, plus remember the exact selector nodes that are
+	// those atomic operands (they are the sanctioned accesses).
+	atomicOperand := make(map[*ast.SelectorExpr]bool)
+	local := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicCall(pass, call) {
+				return true
+			}
+			sel := addrOfField(pass, call.Args[0])
+			if sel == nil {
+				return true
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil {
+				return true
+			}
+			atomicOperand[sel] = true
+			local[fv] = true
+			pass.ExportObjectFact(fv, &AtomicFieldFact{})
+			return true
+		})
+	}
+
+	// Pass 2: every other access to an atomic field — locally discovered
+	// or marked by a fact from another package — is a violation.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicOperand[sel] {
+				return true
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil {
+				return true
+			}
+			isAtomic := local[fv]
+			if !isAtomic {
+				var fact AtomicFieldFact
+				isAtomic = pass.ImportObjectFact(fv, &fact)
+			}
+			if isAtomic {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere but plainly here; use the atomic API everywhere (or a typed atomic), or justify with //lint:allow atomicfield",
+					fv.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call is sync/atomic.<addr-taking fn>(...).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicFns[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addrOfField unwraps &x.f (possibly parenthesized) to the selector.
+func addrOfField(pass *analysis.Pass, e ast.Expr) *ast.SelectorExpr {
+	ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	sel, _ := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil
+// for non-field selections (methods, package members, locals).
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

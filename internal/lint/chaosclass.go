@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+
+	"fastjoin/internal/lint/analysis"
+)
+
+// ChaosRegistryFact is the package fact chaosclass exports from every
+// package that declares a ChaosClassify function: the set of message
+// types the classifier's type switch registers, keyed "pkgpath.Type".
+type ChaosRegistryFact struct {
+	Types map[string]bool
+}
+
+// AFact marks ChaosRegistryFact as a fact.
+func (*ChaosRegistryFact) AFact() {}
+
+// chaosClassifyFunc is the function chaosclass treats as the fault-class
+// registry: its top-level type switch enumerates every message type the
+// chaos layer knows how to scope.
+const chaosClassifyFunc = "ChaosClassify"
+
+// ChaosClass enforces the chaos suite's coverage invariant: every
+// message type that crosses the engine's fault-injection seam (a value
+// handed to Collector.Emit/EmitDirect) must be registered with a chaos
+// class — i.e. appear as a case in a ChaosClassify type switch. A new
+// message type (a future cluster-mode frame, a new control report) that
+// skips registration would silently ride the injector's default class
+// and bypass the differential suite's fault-eligibility matrix.
+//
+// Types declared in packages without a ChaosClassify registry (raw
+// stream tuples, engine-internal values) are out of scope: the check
+// binds exactly the packages that opted into classification.
+var ChaosClass = &analysis.Analyzer{
+	Name: "chaosclass",
+	Doc: "flags message types sent through the engine emit seam that are not " +
+		"registered in a ChaosClassify type switch; unregistered types bypass " +
+		"the chaos suite's fault-eligibility matrix",
+	Run:       runChaosClass,
+	Requires:  []*analysis.Analyzer{EmitSites},
+	FactTypes: []analysis.Fact{(*ChaosRegistryFact)(nil)},
+}
+
+func runChaosClass(pass *analysis.Pass) (any, error) {
+	if reg := extractChaosRegistry(pass); reg != nil {
+		pass.ExportPackageFact(reg)
+	}
+	// Registries visible here: this package's own (if any) plus every
+	// direct import's. A type is checkable when its declaring package
+	// carries a registry; it must then appear in at least one visible
+	// registry.
+	visible := make(map[string]*ChaosRegistryFact)
+	var self ChaosRegistryFact
+	if pass.ImportPackageFact(pass.Pkg, &self) {
+		visible[pass.Pkg.Path()] = &self
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var fact ChaosRegistryFact
+		if pass.ImportPackageFact(imp, &fact) {
+			visible[imp.Path()] = &fact
+		}
+	}
+	if len(visible) == 0 {
+		return nil, nil
+	}
+	idx := pass.ResultOf[EmitSites].(*EmitIndex)
+	for _, send := range idx.Sends {
+		named := namedOf(send.Type)
+		if named == nil || named.Obj().Pkg() == nil {
+			continue // interfaces, built-ins: not classifiable statically
+		}
+		declPkg := named.Obj().Pkg().Path()
+		if _, bound := visible[declPkg]; !bound {
+			continue // declaring package has no registry: out of scope
+		}
+		key := declPkg + "." + named.Obj().Name()
+		registered := false
+		for _, reg := range visible {
+			if reg.Types[key] {
+				registered = true
+				break
+			}
+		}
+		if !registered {
+			pass.Reportf(send.Value.Pos(),
+				"%s crosses the fault-injection seam but has no case in %s; register it with a chaos class so the differential suite can scope faults",
+				named.Obj().Name(), chaosClassifyFunc)
+		}
+	}
+	return nil, nil
+}
+
+// extractChaosRegistry collects the case types of the package's
+// ChaosClassify type switch, if it declares one.
+func extractChaosRegistry(pass *analysis.Pass) *ChaosRegistryFact {
+	var reg *ChaosRegistryFact
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != chaosClassifyFunc || fd.Body == nil {
+				continue
+			}
+			ts := firstTypeSwitch(fd.Body)
+			if ts == nil {
+				pass.Reportf(fd.Pos(),
+					"%s has no type switch; chaosclass cannot extract the registered message types",
+					chaosClassifyFunc)
+				continue
+			}
+			if reg == nil {
+				reg = &ChaosRegistryFact{Types: make(map[string]bool)}
+			}
+			for _, stmt := range ts.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					tv, ok := pass.TypesInfo.Types[e]
+					if !ok {
+						continue
+					}
+					named := namedOf(tv.Type)
+					if named == nil || named.Obj().Pkg() == nil {
+						continue
+					}
+					reg.Types[named.Obj().Pkg().Path()+"."+named.Obj().Name()] = true
+				}
+			}
+		}
+	}
+	return reg
+}
+
+// firstTypeSwitch returns the first type switch in body, at any depth.
+func firstTypeSwitch(body *ast.BlockStmt) *ast.TypeSwitchStmt {
+	var out *ast.TypeSwitchStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if ts, ok := n.(*ast.TypeSwitchStmt); ok {
+			out = ts
+			return false
+		}
+		return true
+	})
+	return out
+}

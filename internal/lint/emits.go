@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fastjoin/internal/lint/analysis"
+)
+
+// EmitIndex is the result of the EmitSites analyzer: every protocol emit
+// site in one package, pre-resolved so the protocol-aware analyzers
+// (spanstate, chaosclass) share a single AST walk.
+type EmitIndex struct {
+	// Events are the obs.Event composite literals (tracer emit sites).
+	Events []EventLit
+	// Sends are the values handed to engine Collector.Emit/EmitDirect —
+	// the seam every message crosses before fault injection.
+	Sends []SendSite
+}
+
+// EventLit is one obs.Event composite literal.
+type EventLit struct {
+	// Pos is the literal's position (the Kind value's position when a
+	// Kind field is present, so diagnostics land on the kind).
+	Pos ast.Node
+	// Kind is the name of the Kind constant the literal's Kind field
+	// resolves to ("" when the literal has no Kind field or the field is
+	// not a named constant).
+	Kind string
+	// HasKindField reports whether a Kind: key is present at all.
+	HasKindField bool
+	// Func is the enclosing function declaration (nil at package scope).
+	Func *ast.FuncDecl
+	// Block is the innermost *ast.BlockStmt whose statement list
+	// (transitively through expression statements) contains the literal;
+	// two literals with the same Block execute in source order.
+	Block *ast.BlockStmt
+}
+
+// SendSite is one value expression passed to Collector.Emit/EmitDirect.
+type SendSite struct {
+	// Value is the argument expression carrying the message.
+	Value ast.Expr
+	// Type is its static type.
+	Type types.Type
+}
+
+// EmitSites indexes the package's protocol emit sites. It reports
+// nothing itself; spanstate and chaosclass consume its result via
+// Pass.ResultOf.
+var EmitSites = &analysis.Analyzer{
+	Name: "emitsites",
+	Doc: "internal: indexes obs.Event literals and engine Collector emit calls " +
+		"for the protocol-aware analyzers",
+	Run: runEmitSites,
+}
+
+func runEmitSites(pass *analysis.Pass) (any, error) {
+	idx := &EmitIndex{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, _ := decl.(*ast.FuncDecl)
+			var blocks []*ast.BlockStmt
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case nil:
+					return false
+				case *ast.BlockStmt:
+					blocks = append(blocks, n)
+					return true
+				case *ast.CompositeLit:
+					if lit := eventLit(pass, n, fd, innermost(blocks, n)); lit != nil {
+						idx.Events = append(idx.Events, *lit)
+					}
+				case *ast.CallExpr:
+					if site := collectorSend(pass, n); site != nil {
+						idx.Sends = append(idx.Sends, *site)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return idx, nil
+}
+
+// innermost returns the innermost block (of the blocks opened so far in
+// this declaration walk) that encloses n.
+func innermost(blocks []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range blocks {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			best = b // blocks appear outermost-first, so the last hit wins
+		}
+	}
+	return best
+}
+
+// eventLit recognizes a composite literal of the obs Event type and
+// resolves its Kind field to a constant name.
+func eventLit(pass *analysis.Pass, lit *ast.CompositeLit, fd *ast.FuncDecl, block *ast.BlockStmt) *EventLit {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Event" || obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return nil
+	}
+	out := &EventLit{Pos: lit, Func: fd, Block: block}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Kind" {
+			continue
+		}
+		out.HasKindField = true
+		out.Pos = kv.Value
+		if c := constName(pass, kv.Value); c != "" {
+			out.Kind = c
+		}
+	}
+	return out
+}
+
+// constName resolves an expression to the name of the declared constant
+// it references (KindTrigger, obs.KindTrigger, ...), or "".
+func constName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+		return c.Name()
+	}
+	return ""
+}
+
+// collectorSend recognizes out.Emit(stream, value) and
+// out.EmitDirect(stream, task, value) calls on the engine Collector and
+// returns the value argument.
+func collectorSend(pass *analysis.Pass, call *ast.CallExpr) *SendSite {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var argIdx int
+	switch sel.Sel.Name {
+	case "Emit":
+		argIdx = 1
+	case "EmitDirect":
+		argIdx = 2
+	default:
+		return nil
+	}
+	if len(call.Args) <= argIdx {
+		return nil
+	}
+	recv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	named := namedOf(recv.Type)
+	if named == nil {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Collector" || obj.Pkg() == nil || obj.Pkg().Name() != "engine" {
+		return nil
+	}
+	arg := call.Args[argIdx]
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok {
+		return nil
+	}
+	return &SendSite{Value: arg, Type: tv.Type}
+}
+
+// namedOf unwraps pointers to a named type, or returns nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

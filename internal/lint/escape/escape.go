@@ -1,0 +1,247 @@
+// Package escape implements the compiler-backed escape gate: it parses
+// the heap-escape diagnostics `go build -gcflags=-m` emits, attributes
+// them to functions annotated `//lint:hotpath`, and diffs the result
+// against a checked-in baseline so a new allocation on a hot path fails
+// CI instead of quietly landing.
+//
+// Keys are (file, function, message, count) — deliberately without line
+// numbers, so editing an unrelated part of a file does not churn the
+// baseline; only a genuinely new escape (or one more occurrence of an
+// existing message inside the same function) trips the gate.
+package escape
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Region is one //lint:hotpath-annotated function: the file the compiler
+// will name in its diagnostics and the function's line range.
+type Region struct {
+	File       string
+	Func       string
+	Start, End int
+}
+
+// Diag is one compiler diagnostic of interest.
+type Diag struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// Finding is a heap escape attributed to a hotpath function.
+type Finding struct {
+	File string
+	Func string
+	Msg  string
+}
+
+// hotpathMarker is the annotation the gate looks for in a function's doc
+// comment (or on any line of it).
+const hotpathMarker = "//lint:hotpath"
+
+// diagRE matches `file.go:line:col: message` diagnostic lines.
+var diagRE = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.+)$`)
+
+// escapeMsg reports whether a -m diagnostic describes a heap escape (as
+// opposed to inlining decisions, leak annotations &c.).
+func escapeMsg(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// ParseDiagnostics extracts the heap-escape diagnostics from `go build
+// -gcflags=-m` output. Package header lines (`# pkg`) and non-escape
+// diagnostics are ignored.
+func ParseDiagnostics(r io.Reader) ([]Diag, error) {
+	var out []Diag
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := diagRE.FindStringSubmatch(sc.Text())
+		if m == nil || !escapeMsg(m[3]) {
+			continue
+		}
+		line, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		out = append(out, Diag{File: m[1], Line: line, Msg: m[3]})
+	}
+	return out, sc.Err()
+}
+
+// HotpathsDir scans the Go files of one package directory for
+// //lint:hotpath functions. rel is the directory path as the compiler
+// will print it (normally the package dir relative to the working
+// directory); region files are recorded as rel/<file>.go.
+func HotpathsDir(dir, rel string) ([]Region, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	fset := token.NewFileSet()
+	var out []Region
+	for _, p := range paths {
+		if strings.HasSuffix(p, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", p, err)
+		}
+		name := filepath.ToSlash(filepath.Join(rel, filepath.Base(p)))
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			annotated := false
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+					annotated = true
+					break
+				}
+			}
+			if !annotated {
+				continue
+			}
+			out = append(out, Region{
+				File:  name,
+				Func:  funcName(fd),
+				Start: fset.Position(fd.Pos()).Line,
+				End:   fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	return out, nil
+}
+
+// funcName renders a declaration as Func or (Recv).Func, matching the
+// compiler's method naming closely enough for humans reading the diff.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + exprString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+// exprString renders the receiver type expression compactly.
+func exprString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + exprString(t.X)
+	case *ast.IndexExpr:
+		return exprString(t.X)
+	default:
+		return "?"
+	}
+}
+
+// Attribute maps each diagnostic inside a hotpath region to a Finding;
+// diagnostics elsewhere are dropped.
+func Attribute(diags []Diag, regions []Region) []Finding {
+	var out []Finding
+	for _, d := range diags {
+		for _, r := range regions {
+			if d.File == r.File && d.Line >= r.Start && d.Line <= r.End {
+				out = append(out, Finding{File: r.File, Func: r.Func, Msg: d.Msg})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Counts folds findings into a multiset keyed by (file, func, msg).
+func Counts(findings []Finding) map[Finding]int {
+	out := make(map[Finding]int, len(findings))
+	for _, f := range findings {
+		out[f]++
+	}
+	return out
+}
+
+// Format renders a counts multiset as sorted baseline lines:
+//
+//	file<TAB>func<TAB>count<TAB>message
+func Format(counts map[Finding]int) string {
+	lines := make([]string, 0, len(counts))
+	for f, n := range counts {
+		lines = append(lines, fmt.Sprintf("%s\t%s\t%d\t%s", f.File, f.Func, n, f.Msg))
+	}
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// ParseBaseline reads baseline lines back into a counts multiset. Blank
+// lines and #-comments are skipped.
+func ParseBaseline(r io.Reader) (map[Finding]int, error) {
+	out := make(map[Finding]int)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("baseline line %d: want 4 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", lineNo, parts[2])
+		}
+		out[Finding{File: parts[0], Func: parts[1], Msg: parts[3]}] = n
+	}
+	return out, sc.Err()
+}
+
+// Diff compares current escapes against the baseline. New returns the
+// findings absent from (or more numerous than) the baseline — these fail
+// the gate. Stale returns baseline entries the current build no longer
+// produces — these merit a baseline refresh but do not fail.
+func Diff(current, baseline map[Finding]int) (fresh, stale []Finding) {
+	for f, n := range current {
+		if n > baseline[f] {
+			fresh = append(fresh, f)
+		}
+	}
+	for f, n := range baseline {
+		if current[f] < n {
+			stale = append(stale, f)
+		}
+	}
+	sortFindings(fresh)
+	sortFindings(stale)
+	return fresh, stale
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Func != fs[j].Func {
+			return fs[i].Func < fs[j].Func
+		}
+		return fs[i].Msg < fs[j].Msg
+	})
+}

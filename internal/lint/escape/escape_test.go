@@ -1,0 +1,139 @@
+package escape
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const mOutput = `# fastjoin/internal/window
+internal/window/chunked.go:96:6: can inline (*chunkStore).Windowed
+internal/window/chunked.go:105:10: moved to heap: t
+internal/window/chunked.go:110:12: make([]byte, 64) escapes to heap
+internal/window/chunked.go:300:3: leaking param: key
+garbage line without a position
+internal/window/other.go:12:2: new(entry) escapes to heap
+`
+
+func TestParseDiagnostics(t *testing.T) {
+	diags, err := ParseDiagnostics(strings.NewReader(mOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Diag{
+		{File: "internal/window/chunked.go", Line: 105, Msg: "moved to heap: t"},
+		{File: "internal/window/chunked.go", Line: 110, Msg: "make([]byte, 64) escapes to heap"},
+		{File: "internal/window/other.go", Line: 12, Msg: "new(entry) escapes to heap"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("parsed %d diagnostics %v, want %d", len(diags), diags, len(want))
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Fatalf("diag %d = %+v, want %+v", i, diags[i], want[i])
+		}
+	}
+}
+
+const hotpathSrc = `package p
+
+// Add is hot.
+//
+//lint:hotpath
+func (s *Store) Add(x int) {
+	_ = x
+}
+
+// Cold has no annotation.
+func (s *Store) Cold() {}
+
+//lint:hotpath
+func Top() {}
+
+type Store struct{}
+`
+
+func TestHotpathsDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(hotpathSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A test file with an annotation must be ignored.
+	testSrc := "package p\n\n//lint:hotpath\nfunc helper() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "p_test.go"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regions, err := HotpathsDir(dir, "pkg/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("found %d regions %v, want 2", len(regions), regions)
+	}
+	add, top := regions[0], regions[1]
+	if add.Func != "(*Store).Add" || add.File != "pkg/p/p.go" || add.Start >= add.End {
+		t.Errorf("bad Add region: %+v", add)
+	}
+	if top.Func != "Top" {
+		t.Errorf("bad Top region: %+v", top)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	regions := []Region{{File: "a.go", Func: "F", Start: 10, End: 20}}
+	diags := []Diag{
+		{File: "a.go", Line: 15, Msg: "moved to heap: x"}, // inside
+		{File: "a.go", Line: 25, Msg: "moved to heap: y"}, // outside range
+		{File: "b.go", Line: 15, Msg: "moved to heap: z"}, // other file
+	}
+	got := Attribute(diags, regions)
+	if len(got) != 1 || got[0] != (Finding{File: "a.go", Func: "F", Msg: "moved to heap: x"}) {
+		t.Fatalf("Attribute = %+v", got)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	counts := Counts([]Finding{
+		{File: "a.go", Func: "F", Msg: "moved to heap: x"},
+		{File: "a.go", Func: "F", Msg: "moved to heap: x"},
+		{File: "b.go", Func: "(*T).M", Msg: "make([]int, n) escapes to heap"},
+	})
+	text := "# comment\n\n" + Format(counts)
+	back, err := ParseBaseline(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(counts) {
+		t.Fatalf("round trip lost entries: %v vs %v", back, counts)
+	}
+	for f, n := range counts {
+		if back[f] != n {
+			t.Fatalf("round trip count for %+v = %d, want %d", f, back[f], n)
+		}
+	}
+}
+
+// TestDiffSyntheticEscape pins the gate semantics: a brand-new escape and
+// a count increase both fail; a vanished entry is stale, not fatal.
+func TestDiffSyntheticEscape(t *testing.T) {
+	old := Finding{File: "a.go", Func: "F", Msg: "moved to heap: x"}
+	gone := Finding{File: "a.go", Func: "F", Msg: "moved to heap: old"}
+	brand := Finding{File: "a.go", Func: "F", Msg: "moved to heap: leak"}
+
+	baseline := map[Finding]int{old: 1, gone: 1}
+	current := map[Finding]int{old: 2, brand: 1}
+
+	fresh, stale := Diff(current, baseline)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want the new escape and the count increase", fresh)
+	}
+	if len(stale) != 1 || stale[0] != gone {
+		t.Fatalf("stale = %v, want the vanished entry", stale)
+	}
+	// Identical states are quiet in both directions.
+	fresh, stale = Diff(baseline, baseline)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("self-diff not empty: fresh=%v stale=%v", fresh, stale)
+	}
+}

@@ -46,7 +46,7 @@ func runGoroutineStop(pass *analysis.Pass) (any, error) {
 			if body == nil {
 				return true // dynamic or cross-package target: out of scope
 			}
-			if !hasUnboundedLoop(body) || hasStopSignal(pass, body) {
+			if !hasUnboundedLoop(body) || hasStopSignal(pass, decls, body, nil) {
 				return true
 			}
 			pass.Reportf(g.Pos(),
@@ -109,9 +109,25 @@ func hasUnboundedLoop(body *ast.BlockStmt) bool {
 	return found
 }
 
+// stopSignalDepth bounds the same-package call chain hasStopSignal
+// follows out of a goroutine body.
+const stopSignalDepth = 4
+
 // hasStopSignal reports whether body anywhere receives from a
-// shutdown-shaped expression or ranges over a channel.
-func hasStopSignal(pass *analysis.Pass, body *ast.BlockStmt) bool {
+// shutdown-shaped expression or ranges over a channel. The search
+// follows calls to same-package functions and methods (depth-limited,
+// cycle-safe): the loop's stop condition often lives in a helper — e.g.
+// a pump that does `for range ch` over a closable channel and reports
+// exhaustion to the looping caller — and treating the helper as opaque
+// produced false positives on exactly that shape.
+func hasStopSignal(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, visited map[*ast.BlockStmt]bool) bool {
+	if visited == nil {
+		visited = make(map[*ast.BlockStmt]bool)
+	}
+	if visited[body] || len(visited) > stopSignalDepth {
+		return false
+	}
+	visited[body] = true
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -130,8 +146,34 @@ func hasStopSignal(pass *analysis.Pass, body *ast.BlockStmt) bool {
 					return false
 				}
 			}
+		case *ast.CallExpr:
+			if callee := calleeBody(pass, decls, n); callee != nil &&
+				hasStopSignal(pass, decls, callee, visited) {
+				found = true
+				return false
+			}
 		}
 		return true
 	})
 	return found
+}
+
+// calleeBody resolves a call to the body of a same-package function or
+// method declaration, or nil.
+func calleeBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+		if fd := decls[fn]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
 }

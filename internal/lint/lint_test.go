@@ -21,3 +21,15 @@ func TestGoroutineStop(t *testing.T) {
 func TestPanicPath(t *testing.T) {
 	analysistest.Run(t, "testdata", PanicPath, "panicpath", "panicpath/cmd")
 }
+
+func TestSpanState(t *testing.T) {
+	analysistest.Run(t, "testdata", SpanState, "spanstate")
+}
+
+func TestChaosClass(t *testing.T) {
+	analysistest.Run(t, "testdata", ChaosClass, "chaosclass", "chaosclassbad")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", AtomicField, "atomicfield")
+}

@@ -73,7 +73,10 @@ func goList(dir string, args ...string) ([]listEntry, error) {
 }
 
 // Load enumerates the packages matching patterns (relative to dir),
-// type-checks them and returns them in `go list` order.
+// type-checks them and returns them in `go list` order. Overlapping
+// patterns that resolve to the same package (`./internal/lint` next to
+// `fastjoin/internal/lint`) are deduplicated; packages with no non-test
+// Go files (external-test-only directories) are skipped.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	targets, err := goList(dir, patterns...)
 	if err != nil {
@@ -85,11 +88,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)
+	seen := make(map[string]bool, len(targets))
 	var pkgs []*Package
 	for _, e := range targets {
-		if len(e.GoFiles) == 0 {
+		if len(e.GoFiles) == 0 || seen[e.ImportPath] {
 			continue
 		}
+		seen[e.ImportPath] = true
 		p, err := checkPackage(fset, imp, e)
 		if err != nil {
 			return nil, err
@@ -111,7 +116,10 @@ func ExportsFor(dir string, pkgs []string) (map[string]string, error) {
 }
 
 func exportMap(dir string, patterns []string) (map[string]string, error) {
-	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
+	// -e tolerates targets that fail to compile: their dependencies still
+	// yield export data, and the type error surfaces from checkPackage as
+	// a reported diagnostic instead of an opaque go-list failure.
+	deps, err := goList(dir, append([]string{"-e", "-deps", "-export"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package loader
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestLoadSelf loads this package through the export-data pipeline and
 // checks that syntax, types and comments all survive.
@@ -44,5 +47,47 @@ func TestLoadTransitive(t *testing.T) {
 	}
 	if pkgs[0].Types.Scope().Lookup("All") == nil {
 		t.Error("type information lacks lint.All")
+	}
+}
+
+// TestLoadExternalTestOnly targets a directory holding only external test
+// files: go list reports it with no GoFiles, and Load must skip it
+// rather than panic or fabricate an empty package.
+func TestLoadExternalTestOnly(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/xtestonly")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 0 {
+		t.Fatalf("Load returned %d packages for an external-test-only directory, want 0", len(pkgs))
+	}
+}
+
+// TestLoadTypeError targets a package that parses but fails type-check:
+// the failure must come back as an error naming the type-check stage, not
+// as a panic and not as a go-list enumeration failure.
+func TestLoadTypeError(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/broken")
+	if err == nil {
+		t.Fatalf("Load succeeded on a type-broken package: %+v", pkgs)
+	}
+	if !strings.Contains(err.Error(), "typecheck") {
+		t.Fatalf("Load error %q does not identify the typecheck stage", err)
+	}
+}
+
+// TestLoadDeduplicates passes the same package under two spellings; Load
+// must type-check and return it once.
+func TestLoadDeduplicates(t *testing.T) {
+	pkgs, err := Load(".", ".", "fastjoin/internal/lint/loader")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		paths := make([]string, len(pkgs))
+		for i, p := range pkgs {
+			paths[i] = p.ImportPath
+		}
+		t.Fatalf("Load returned %v, want the loader package exactly once", paths)
 	}
 }

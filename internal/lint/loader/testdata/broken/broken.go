@@ -1,0 +1,8 @@
+// Package broken parses but does not type-check; the loader must surface
+// the type error instead of panicking.
+package broken
+
+func oops() int {
+	var s string
+	return s + 1
+}

@@ -1,0 +1,7 @@
+// Package xtestonly_test exists to prove the loader skips packages with
+// no non-test Go files instead of panicking on an empty file list.
+package xtestonly_test
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

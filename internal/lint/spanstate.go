@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"fastjoin/internal/lint/analysis"
+)
+
+// SpanRule is the statically extracted lifecycle rule of one trace-event
+// kind, mirroring the obs package's KindRule by constant name.
+type SpanRule struct {
+	Requires []string
+	Forbids  []string
+	Terminal bool
+	Trailing bool
+}
+
+// SpanTableFact is the package fact spanstate exports from the package
+// that declares the span-rule table (internal/obs): the migration-event
+// state machine, keyed by Kind constant name.
+type SpanTableFact struct {
+	Rules map[string]SpanRule
+}
+
+// AFact marks SpanTableFact as a fact.
+func (*SpanTableFact) AFact() {}
+
+// spanTableVar is the variable spanstate extracts the state machine from.
+// It must be a keyed composite literal in a package named "obs";
+// Span.Err interprets the same table at runtime, which is what makes the
+// static and dynamic views of the protocol impossible to desynchronize.
+const spanTableVar = "spanRules"
+
+// SpanState checks tracer emit sites against the migration-protocol
+// state machine. On the obs package it extracts the spanRules table (and
+// validates the table's internal references); on every package that
+// imports obs it checks each obs.Event composite literal: the Kind field
+// must be present, must name a constant, the constant must have a rule
+// in the table, and two emits in the same straight-line block must not
+// encode an ordering the table rejects (an event after a terminal kind
+// that cannot trail it, or after a kind its rule forbids).
+var SpanState = &analysis.Analyzer{
+	Name: "spanstate",
+	Doc: "checks tracer emit sites against the obs span-rule table: unknown " +
+		"kinds, missing Kind fields, and orderings the migration protocol forbids",
+	Run:       runSpanState,
+	Requires:  []*analysis.Analyzer{EmitSites},
+	FactTypes: []analysis.Fact{(*SpanTableFact)(nil)},
+}
+
+func runSpanState(pass *analysis.Pass) (any, error) {
+	table := extractSpanTable(pass)
+	if table != nil {
+		pass.ExportPackageFact(table)
+	}
+	if table == nil {
+		// Not the table's package: find it among the imports.
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() != "obs" {
+				continue
+			}
+			var fact SpanTableFact
+			if pass.ImportPackageFact(imp, &fact) {
+				table = &fact
+				break
+			}
+		}
+	}
+	if table == nil {
+		return nil, nil // no state machine in scope: nothing to check
+	}
+	idx := pass.ResultOf[EmitSites].(*EmitIndex)
+	checkEmitKinds(pass, table, idx)
+	checkEmitOrder(pass, table, idx)
+	return nil, nil
+}
+
+// extractSpanTable pulls the state machine out of the spanRules table
+// when the package under analysis declares it (package obs). The table
+// must be a keyed composite literal: array index or map key names the
+// kind, the value is a KindRule literal.
+func extractSpanTable(pass *analysis.Pass) *SpanTableFact {
+	if pass.Pkg.Name() != "obs" {
+		return nil
+	}
+	var lit *ast.CompositeLit
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != spanTableVar || i >= len(vs.Values) {
+						continue
+					}
+					lit, _ = vs.Values[i].(*ast.CompositeLit)
+				}
+			}
+		}
+	}
+	if lit == nil {
+		return nil
+	}
+	fact := &SpanTableFact{Rules: make(map[string]SpanRule)}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			pass.Reportf(el.Pos(),
+				"span-rule table entry without a Kind key; spanstate needs keyed entries to extract the state machine")
+			continue
+		}
+		kind := constName(pass, kv.Key)
+		if kind == "" {
+			pass.Reportf(kv.Key.Pos(), "span-rule table key is not a Kind constant")
+			continue
+		}
+		rule, ok := extractKindRule(pass, kv.Value)
+		if !ok {
+			pass.Reportf(kv.Value.Pos(), "span-rule for %s is not a literal KindRule", kind)
+			continue
+		}
+		fact.Rules[kind] = rule
+	}
+	// The table must be internally closed: every referenced kind needs
+	// its own entry, or Span.Err and the emit checks diverge.
+	for kind, rule := range fact.Rules {
+		for _, ref := range append(append([]string{}, rule.Requires...), rule.Forbids...) {
+			if _, ok := fact.Rules[ref]; !ok {
+				pass.Reportf(lit.Pos(),
+					"span-rule for %s references %s, which has no entry in the table", kind, ref)
+			}
+		}
+	}
+	return fact
+}
+
+// extractKindRule reads one KindRule composite literal.
+func extractKindRule(pass *analysis.Pass, e ast.Expr) (SpanRule, bool) {
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return SpanRule{}, false
+	}
+	var rule SpanRule
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return SpanRule{}, false
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return SpanRule{}, false
+		}
+		switch key.Name {
+		case "Requires", "Forbids":
+			inner, ok := kv.Value.(*ast.CompositeLit)
+			if !ok {
+				return SpanRule{}, false
+			}
+			var kinds []string
+			for _, ke := range inner.Elts {
+				name := constName(pass, ke)
+				if name == "" {
+					return SpanRule{}, false
+				}
+				kinds = append(kinds, name)
+			}
+			if key.Name == "Requires" {
+				rule.Requires = kinds
+			} else {
+				rule.Forbids = kinds
+			}
+		case "Terminal", "Trailing":
+			id, ok := kv.Value.(*ast.Ident)
+			if !ok {
+				return SpanRule{}, false
+			}
+			val := id.Name == "true"
+			if key.Name == "Terminal" {
+				rule.Terminal = val
+			} else {
+				rule.Trailing = val
+			}
+		}
+	}
+	return rule, true
+}
+
+// checkEmitKinds flags emit sites whose Kind is absent, dynamic, or has
+// no rule in the table.
+func checkEmitKinds(pass *analysis.Pass, table *SpanTableFact, idx *EmitIndex) {
+	known := make([]string, 0, len(table.Rules))
+	for k := range table.Rules {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	for _, ev := range idx.Events {
+		switch {
+		case !ev.HasKindField:
+			pass.Reportf(ev.Pos.Pos(),
+				"obs.Event literal without a Kind field; every tracer emit must name a protocol step")
+		case ev.Kind == "":
+			pass.Reportf(ev.Pos.Pos(),
+				"obs.Event Kind is not a named constant; spanstate cannot check dynamic kinds — use a Kind* constant")
+		case !hasRule(table, ev.Kind):
+			pass.Reportf(ev.Pos.Pos(),
+				"emit of %s, which has no rule in the span-rule table (known kinds: %s); add a table entry in internal/obs or fix the emit",
+				ev.Kind, strings.Join(known, ", "))
+		}
+	}
+}
+
+func hasRule(table *SpanTableFact, kind string) bool {
+	_, ok := table.Rules[kind]
+	return ok
+}
+
+// checkEmitOrder flags pairs of emits in the same straight-line block
+// whose source order the state machine can never accept: a non-trailing
+// kind after a terminal one, or a kind after one its rule forbids.
+func checkEmitOrder(pass *analysis.Pass, table *SpanTableFact, idx *EmitIndex) {
+	byBlock := make(map[*ast.BlockStmt][]EventLit)
+	for _, ev := range idx.Events {
+		if ev.Block == nil || ev.Kind == "" || !hasRule(table, ev.Kind) {
+			continue
+		}
+		byBlock[ev.Block] = append(byBlock[ev.Block], ev)
+	}
+	for _, evs := range byBlock {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Pos.Pos() < evs[j].Pos.Pos() })
+		for i, later := range evs {
+			lr := table.Rules[later.Kind]
+			for _, earlier := range evs[:i] {
+				er := table.Rules[earlier.Kind]
+				if er.Terminal && !lr.Trailing {
+					pass.Reportf(later.Pos.Pos(),
+						"emit of %s after terminal %s in the same block; no span accepts this order",
+						later.Kind, earlier.Kind)
+					break
+				}
+				if contains(lr.Forbids, earlier.Kind) {
+					pass.Reportf(later.Pos.Pos(),
+						"emit of %s after %s in the same block, but the span-rule table forbids %s once %s has appeared",
+						later.Kind, earlier.Kind, later.Kind, earlier.Kind)
+					break
+				}
+			}
+		}
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

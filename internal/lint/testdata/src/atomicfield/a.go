@@ -1,0 +1,49 @@
+package atomicfield
+
+import (
+	"sync/atomic"
+
+	"atomicfield/dep"
+)
+
+type stats struct {
+	n    int64  // atomic everywhere except the flagged read below
+	m    int64  // plain everywhere: fine
+	done uint32 // atomic everywhere: fine
+}
+
+func (s *stats) add() {
+	atomic.AddInt64(&s.n, 1)
+	atomic.StoreUint32(&s.done, 1)
+}
+
+func (s *stats) mixedRead() int64 {
+	return s.n // want "field n is accessed with sync/atomic elsewhere but plainly here"
+}
+
+func (s *stats) plainOnly() int64 {
+	s.m++
+	return s.m
+}
+
+func (s *stats) atomicOnly() (int64, uint32) {
+	return atomic.LoadInt64(&s.n), atomic.LoadUint32(&s.done)
+}
+
+// suppressed: pre-publication initialization before any goroutine exists.
+func newStats() *stats {
+	s := &stats{}
+	//lint:allow atomicfield constructor runs before the struct is shared
+	s.n = 0
+	return s
+}
+
+// crossPkgRead reads dep.Gauge.V plainly; the atomic accesses are all in
+// package dep, so this is caught purely via the imported object fact.
+func crossPkgRead(g *dep.Gauge) int64 {
+	return g.V // want "field V is accessed with sync/atomic elsewhere but plainly here"
+}
+
+func crossPkgAtomic(g *dep.Gauge) int64 {
+	return atomic.LoadInt64(&g.V)
+}

@@ -1,0 +1,16 @@
+// Package dep declares a gauge whose field is only ever touched
+// atomically *inside this package*; the plain access lives in the
+// importing package, so catching it requires the exported object fact.
+package dep
+
+import "sync/atomic"
+
+// Gauge is a shared counter.
+type Gauge struct {
+	V int64
+}
+
+// Bump adds atomically.
+func (g *Gauge) Bump(d int64) {
+	atomic.AddInt64(&g.V, d)
+}

@@ -1,0 +1,37 @@
+package chaosclass
+
+import (
+	"chaosclass/engine"
+	"chaosclass/reg"
+)
+
+// Local is declared here and registered by this package's own registry.
+type Local struct{ N int }
+
+// Unreg is declared here but missing from every visible registry.
+type Unreg struct{ N int }
+
+// ChaosClassify registers this package's own message types.
+func ChaosClassify(msg any) reg.Class {
+	switch msg.(type) {
+	case Local:
+		return reg.ClassData
+	default:
+		return reg.ClassNone
+	}
+}
+
+func send(c *engine.Collector) {
+	c.Emit("right", reg.Frame{Seq: 1})            // registered in reg
+	c.EmitDirect("acks", 0, &reg.Ack{Seq: 2})     // registered by pointer case
+	c.Emit("rogue", reg.Rogue{})                  // want "Rogue crosses the fault-injection seam"
+	c.Emit("local", Local{N: 3})                  // registered locally
+	c.EmitDirect("local", 1, Unreg{N: 4})         // want "Unreg crosses the fault-injection seam"
+	c.Emit("note", "plain string is unclassable") // built-in type: out of scope
+}
+
+// suppressed: the escape hatch.
+func allowedSend(c *engine.Collector) {
+	//lint:allow chaosclass bench-only frame, never active under chaos
+	c.Emit("bench", reg.Rogue{})
+}

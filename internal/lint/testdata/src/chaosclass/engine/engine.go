@@ -1,0 +1,12 @@
+// Package engine is a miniature of fastjoin/internal/engine for the
+// chaosclass golden tests: just the Collector emit seam.
+package engine
+
+// Collector is the fault-injection seam stub.
+type Collector struct{}
+
+// Emit hands value to the injector.
+func (c *Collector) Emit(stream string, value any) {}
+
+// EmitDirect hands value to one task's injector.
+func (c *Collector) EmitDirect(stream string, task int, value any) {}

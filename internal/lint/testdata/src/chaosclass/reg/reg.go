@@ -1,0 +1,34 @@
+// Package reg declares message types and a ChaosClassify registry that
+// covers some of them, for the chaosclass cross-package fact tests.
+package reg
+
+// Frame is a registered message type.
+type Frame struct{ Seq uint64 }
+
+// Ack is a registered message type (by pointer case).
+type Ack struct{ Seq uint64 }
+
+// Rogue is deliberately unregistered.
+type Rogue struct{ Payload []byte }
+
+// Class is the chaos class enum stand-in.
+type Class int
+
+// Classes.
+const (
+	ClassNone Class = iota
+	ClassData
+	ClassControl
+)
+
+// ChaosClassify is the registry the analyzer extracts.
+func ChaosClassify(msg any) Class {
+	switch msg.(type) {
+	case Frame:
+		return ClassData
+	case *Ack:
+		return ClassControl
+	default:
+		return ClassNone
+	}
+}

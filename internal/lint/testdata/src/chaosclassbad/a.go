@@ -1,0 +1,15 @@
+// Package chaosclassbad declares a ChaosClassify with no type switch:
+// the analyzer reports the degenerate registry and skips seam checks
+// rather than cascading findings it cannot ground.
+package chaosclassbad
+
+// Class is a stand-in enum.
+type Class int
+
+// ChaosClassify is malformed: no type switch to extract.
+func ChaosClassify(msg any) Class { // want "no type switch"
+	if msg == nil {
+		return 0
+	}
+	return 1
+}

@@ -105,3 +105,50 @@ func allowedSpin() {
 	//lint:allow goroutinestop daemon intentionally runs for the process lifetime
 	go spin()
 }
+
+type pump struct {
+	in chan int
+}
+
+// drain ranges over a closable channel inside a select-free helper: the
+// loop ends when the channel closes, and it reports exhaustion to the
+// looping caller.
+func (p *pump) drain() bool {
+	n := 0
+	for v := range p.in {
+		n += v
+		if n > 1024 {
+			return true // batch full, more to come
+		}
+	}
+	return false // channel closed
+}
+
+// clean (regression): the stop signal lives in the helper called from
+// the launched body, not in the body itself. This exact shape used to be
+// a false positive.
+func goodHelperRange(p *pump) {
+	go func() {
+		for {
+			if !p.drain() {
+				return
+			}
+		}
+	}()
+}
+
+func (p *pump) busy() {
+	for i := 0; i < 8; i++ {
+		work()
+	}
+}
+
+// flagged: the helper chain never touches a channel or stop signal, so
+// following calls must not silence the real leak.
+func badHelperNoSignal(p *pump) {
+	go func() { // want "unbounded loop"
+		for {
+			p.busy()
+		}
+	}()
+}

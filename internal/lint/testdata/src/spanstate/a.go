@@ -1,0 +1,58 @@
+package spanstate
+
+import "spanstate/obs"
+
+var tr *obs.Tracer
+
+func cond() bool { return false }
+
+// clean: a well-ordered protocol function; the noop branch terminates in
+// its own block, so the fence/commit that follow in the outer block are
+// a different path.
+func good() {
+	tr.Emit(obs.Event{Kind: obs.KindTrigger})
+	tr.Emit(obs.Event{Kind: obs.KindSelect})
+	if cond() {
+		tr.Emit(obs.Event{Kind: obs.KindNoop})
+		return
+	}
+	tr.Emit(obs.Event{Kind: obs.KindFence})
+	tr.Emit(obs.Event{Kind: obs.KindCommit})
+	tr.Emit(obs.Event{Kind: obs.KindDone}) // trailing kinds may follow a terminal
+}
+
+// flagged: KindOrphan is a declared constant with no rule in the table.
+func unknownKind() {
+	tr.Emit(obs.Event{Kind: obs.KindOrphan}) // want "no rule in the span-rule table"
+}
+
+// flagged: an emit that names no protocol step at all.
+func missingKind() {
+	tr.Emit(obs.Event{Epoch: 7}) // want "without a Kind field"
+}
+
+// flagged: spanstate cannot check a dynamic kind.
+func dynamicKind(k obs.Kind) {
+	tr.Emit(obs.Event{Kind: k}) // want "not a named constant"
+}
+
+// flagged: nothing but trailing kinds may follow a terminal emit in the
+// same straight-line block.
+func afterTerminal() {
+	tr.Emit(obs.Event{Kind: obs.KindTrigger})
+	tr.Emit(obs.Event{Kind: obs.KindSelect})
+	tr.Emit(obs.Event{Kind: obs.KindNoop})
+	tr.Emit(obs.Event{Kind: obs.KindFence}) // want "after terminal KindNoop"
+}
+
+// flagged: the table forbids a noop once the fence is up.
+func forbiddenOrder() {
+	tr.Emit(obs.Event{Kind: obs.KindFence})
+	tr.Emit(obs.Event{Kind: obs.KindNoop}) // want "forbids KindNoop once KindFence"
+}
+
+// suppressed: the escape hatch still applies.
+func allowed() {
+	//lint:allow spanstate synthetic replay tooling emits out of band
+	tr.Emit(obs.Event{Kind: obs.KindOrphan})
+}

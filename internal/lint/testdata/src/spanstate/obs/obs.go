@@ -1,0 +1,57 @@
+// Package obs is a miniature of fastjoin/internal/obs for the spanstate
+// golden tests: a Kind taxonomy, the shared span-rule table, and a
+// Tracer accepting Event literals.
+package obs
+
+// Kind is the type of one trace event.
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+	KindTrigger
+	KindSelect
+	KindNoop
+	KindFence
+	KindCommit
+	KindDone
+	// KindOrphan deliberately has no rule in the table below, so emit
+	// sites referencing it are "unknown kind" findings.
+	KindOrphan
+
+	numKinds
+)
+
+// KindRule mirrors the real package's lifecycle rule.
+type KindRule struct {
+	Requires []Kind
+	Forbids  []Kind
+	Terminal bool
+	Trailing bool
+}
+
+// spanRules is the table spanstate extracts.
+var spanRules = [numKinds]KindRule{
+	KindTrigger: {Forbids: []Kind{KindTrigger}},
+	KindSelect:  {Requires: []Kind{KindTrigger}},
+	KindNoop:    {Forbids: []Kind{KindFence}, Terminal: true},
+	KindFence:   {Requires: []Kind{KindSelect}},
+	KindCommit:  {Requires: []Kind{KindFence}, Terminal: true},
+	KindDone:    {Trailing: true},
+}
+
+// Event is one trace event.
+type Event struct {
+	Kind  Kind
+	Epoch uint64
+}
+
+// Tracer is the emit sink.
+type Tracer struct{}
+
+// Emit records one event.
+func (t *Tracer) Emit(ev Event) {}
+
+// use keeps the table referenced.
+func use() int { return len(spanRules) }
+
+var _ = use

@@ -36,3 +36,21 @@ func allowedInline() {
 	ch := make(chan int) //lint:allow unboundedchan handshake channel
 	_ = ch
 }
+
+const zeroCap = 0
+
+// flagged: an explicit zero capacity is the same rendezvous channel the
+// no-capacity form builds, spelled to look bounded.
+func explicitZero() {
+	ch := make(chan int, 0)          // want "rendezvous channel"
+	named := make(chan int, zeroCap) // want "rendezvous channel"
+	_, _ = ch, named
+}
+
+// clean: dynamic and non-zero capacities, zero-capacity signal channels.
+func explicitZeroClean(n int) {
+	q := make(chan int, 1)
+	dyn := make(chan int, n) // dynamic capacity is the caller's contract
+	sig := make(chan struct{}, 0)
+	_, _, _ = q, dyn, sig
+}

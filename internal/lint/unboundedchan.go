@@ -6,22 +6,30 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 
 	"fastjoin/internal/lint/analysis"
 )
 
-// All returns the full fastjoin-lint suite in reporting order.
+// All returns the full fastjoin-lint suite in reporting order. Hidden
+// dependency analyzers (emitsites) are not listed; the driver pulls them
+// in through Requires.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		UnboundedChan,
 		LockGuard,
 		GoroutineStop,
 		PanicPath,
+		SpanState,
+		ChaosClass,
+		AtomicField,
 	}
 }
 
-// UnboundedChan flags `make(chan T)` without a capacity. The engine's load
+// UnboundedChan flags `make(chan T)` without a capacity, and
+// `make(chan T, 0)` with an explicit (possibly named-constant) zero
+// capacity — both build the same rendezvous channel. The engine's load
 // model (L_i = |R_i|·φ_si, with φ a queue length) and its back-pressure
 // behaviour only hold if every data-carrying queue is bounded; a
 // rendezvous channel on a hot path turns back-pressure into head-of-line
@@ -29,8 +37,9 @@ func All() []*analysis.Analyzer {
 // close/broadcast — carry no data and are exempt.
 var UnboundedChan = &analysis.Analyzer{
 	Name: "unboundedchan",
-	Doc: "flags make(chan T) with no capacity; every data queue must be bounded " +
-		"for the φ back-pressure model (chan struct{} signal channels are exempt)",
+	Doc: "flags make(chan T) with no capacity and make(chan T, 0); every data " +
+		"queue must be bounded for the φ back-pressure model (chan struct{} " +
+		"signal channels are exempt)",
 	Run: runUnboundedChan,
 }
 
@@ -42,7 +51,7 @@ func runUnboundedChan(pass *analysis.Pass) (any, error) {
 				return true
 			}
 			id, ok := call.Fun.(*ast.Ident)
-			if !ok || id.Name != "make" || len(call.Args) != 1 {
+			if !ok || id.Name != "make" || len(call.Args) < 1 || len(call.Args) > 2 {
 				return true
 			}
 			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
@@ -56,14 +65,36 @@ func runUnboundedChan(pass *analysis.Pass) (any, error) {
 			if !ok {
 				return true
 			}
+			// make(chan T, n): only a capacity that constant-folds to zero
+			// is a rendezvous channel in disguise; dynamic capacities are
+			// the caller's contract.
+			if len(call.Args) == 2 && !isConstZero(pass, call.Args[1]) {
+				return true
+			}
 			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
 				return true // close-only signal channel
 			}
-			pass.Reportf(call.Pos(),
-				"unbuffered make(chan %s): bound every data queue so back-pressure stays measurable, or use chan struct{} for pure signals",
-				ch.Elem())
+			if len(call.Args) == 2 {
+				pass.Reportf(call.Pos(),
+					"make(chan %s, 0) is a rendezvous channel: bound every data queue so back-pressure stays measurable, or use chan struct{} for pure signals",
+					ch.Elem())
+			} else {
+				pass.Reportf(call.Pos(),
+					"unbuffered make(chan %s): bound every data queue so back-pressure stays measurable, or use chan struct{} for pure signals",
+					ch.Elem())
+			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// isConstZero reports whether e is a compile-time constant equal to 0.
+func isConstZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v == 0
 }

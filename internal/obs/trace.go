@@ -124,7 +124,64 @@ func (k Kind) MarshalJSON() ([]byte, error) {
 // source. KindDone and the target's post-flush KindReplay may still trail
 // a terminal event (they are causally downstream of it).
 func (k Kind) Terminal() bool {
-	return k == KindCommit || k == KindRollback || k == KindNoop
+	if int(k) >= len(spanRules) {
+		return false
+	}
+	return spanRules[k].Terminal
+}
+
+// KindRule is one kind's place in the migration span lifecycle. The rule
+// constrains where the kind may appear relative to the kinds already seen
+// in the same span (in Seq order).
+type KindRule struct {
+	// Requires lists kinds that must all have appeared earlier in the
+	// span before this kind is valid.
+	Requires []Kind
+	// Forbids lists kinds that must not have appeared earlier.
+	Forbids []Kind
+	// Terminal marks the kinds that end the span's protocol work.
+	Terminal bool
+	// Trailing marks the kinds that may still appear after a terminal
+	// event (they are causally downstream of it: the target runs
+	// concurrently with the source's commit, and the monitor's done
+	// report rides a droppable lane).
+	Trailing bool
+}
+
+// spanRules is the single source of truth for the migration-event state
+// machine: one entry per emittable kind, encoding the causal skeleton of
+// Algorithm 2 plus the abort/rollback refinement. Span.Err interprets it
+// at runtime, and the spanstate analyzer (internal/lint) extracts it
+// statically to check every tracer emit site in internal/biclique —
+// adding a Kind constant or an emit site without a rule here fails lint,
+// and so does weakening a rule the emit sites rely on. Keep the table
+// keyed (spanstate reads the keys) and keep every emittable kind present,
+// even when its rule is empty.
+var spanRules = [numKinds]KindRule{
+	KindTrigger:      {Forbids: []Kind{KindTrigger}},
+	KindSelect:       {Requires: []Kind{KindTrigger}},
+	KindNoop:         {Forbids: []Kind{KindFence}, Terminal: true},
+	KindFence:        {Requires: []Kind{KindSelect}},
+	KindRouteApplied: {},
+	KindMarker:       {Requires: []Kind{KindFence}},
+	KindInstall:      {Trailing: true},
+	KindFlush:        {Requires: []Kind{KindMarker}},
+	KindReplay:       {Trailing: true},
+	KindCommit:       {Requires: []Kind{KindFlush}, Forbids: []Kind{KindAbort}, Terminal: true},
+	KindAbort:        {Requires: []Kind{KindFence}},
+	KindRevertMarker: {Requires: []Kind{KindAbort}},
+	KindReturn:       {Requires: []Kind{KindAbort}},
+	KindRollback:     {Requires: []Kind{KindReturn}, Terminal: true},
+	KindDone:         {Trailing: true},
+}
+
+// Rule returns the lifecycle rule for k (the zero rule for out-of-range
+// kinds). It exposes the shared table read-only for tests and tooling.
+func (k Kind) Rule() KindRule {
+	if int(k) >= len(spanRules) {
+		return KindRule{}
+	}
+	return spanRules[k]
 }
 
 // SpanID identifies one migration attempt: (side, source instance, epoch)
@@ -339,16 +396,20 @@ func (s Span) Terminal() Kind {
 
 // Err validates the span against the protocol's lifecycle and returns a
 // description of the first violation, or nil for a complete, correctly
-// ordered span. The rules encode the causal skeleton:
+// ordered span. The per-kind rules — prerequisites, exclusions, terminal
+// and trailing roles — come from spanRules, the same table the spanstate
+// analyzer checks emit sites against; Err adds only the structural
+// scaffolding the table cannot express (the span opens with trigger then
+// select, Seq order is monotone, exactly one terminal event appears).
 //
-//   - the span opens with KindTrigger, followed by KindSelect;
-//   - exactly one terminal event (commit, rollback, or noop) appears, and
-//     only KindReplay and KindInstall (the target runs concurrently with
-//     the marker handshake, so its events can trail the source's commit)
-//     and KindDone may trail it;
+// The causal skeleton the table encodes:
+//
 //   - markers appear only inside the fence (after KindFence);
 //   - a commit is preceded by the full forward-marker handshake and the
-//     flush; a rollback by KindAbort, the revert markers, and KindReturn.
+//     flush; a rollback by KindAbort, the revert markers, and KindReturn;
+//   - only KindReplay and KindInstall (the target runs concurrently with
+//     the marker handshake, so its events can trail the source's commit)
+//     and KindDone may trail the terminal event.
 //
 // The ring can evict a span's oldest events under an event storm; callers
 // that need full validation should size the tracer generously. Err reports
@@ -364,68 +425,36 @@ func (s Span) Err() error {
 		return fmt.Errorf("span %v: trigger not followed by select", s.ID)
 	}
 	var (
-		terminal   Kind
-		fenced     bool
-		aborted    bool
-		flushed    bool
-		returned   bool
-		fwdMarkers int
-		lastSeq    uint64
+		terminal Kind
+		seen     [numKinds]bool
+		lastSeq  uint64
 	)
 	for i, ev := range s.Events {
 		if ev.Seq < lastSeq {
 			return fmt.Errorf("span %v: event %d (%v) out of Seq order", s.ID, i, ev.Kind)
 		}
 		lastSeq = ev.Seq
-		if terminal != KindNone && ev.Kind != KindReplay && ev.Kind != KindInstall && ev.Kind != KindDone {
+		if int(ev.Kind) >= int(numKinds) {
+			return fmt.Errorf("span %v: unknown kind %d", s.ID, uint8(ev.Kind))
+		}
+		rule := spanRules[ev.Kind]
+		if terminal != KindNone && !rule.Trailing {
 			return fmt.Errorf("span %v: %v after terminal %v", s.ID, ev.Kind, terminal)
 		}
-		switch ev.Kind {
-		case KindTrigger:
-			if i != 0 {
-				return fmt.Errorf("span %v: duplicate trigger", s.ID)
+		for _, req := range rule.Requires {
+			if !seen[req] {
+				return fmt.Errorf("span %v: %v without earlier %v", s.ID, ev.Kind, req)
 			}
-		case KindFence:
-			fenced = true
-		case KindMarker:
-			if !fenced {
-				return fmt.Errorf("span %v: forward marker before fence", s.ID)
+		}
+		for _, bad := range rule.Forbids {
+			if seen[bad] {
+				return fmt.Errorf("span %v: %v after %v", s.ID, ev.Kind, bad)
 			}
-			fwdMarkers++
-		case KindFlush:
-			if fwdMarkers == 0 {
-				return fmt.Errorf("span %v: flush before any forward marker", s.ID)
-			}
-			flushed = true
-		case KindAbort:
-			if !fenced {
-				return fmt.Errorf("span %v: abort before fence", s.ID)
-			}
-			aborted = true
-		case KindReturn:
-			if !aborted {
-				return fmt.Errorf("span %v: return without abort", s.ID)
-			}
-			returned = true
-		case KindCommit:
-			if aborted {
-				return fmt.Errorf("span %v: commit after abort", s.ID)
-			}
-			if !flushed {
-				return fmt.Errorf("span %v: commit without flush", s.ID)
-			}
-			terminal = ev.Kind
-		case KindRollback:
-			if !returned {
-				return fmt.Errorf("span %v: rollback without return", s.ID)
-			}
-			terminal = ev.Kind
-		case KindNoop:
-			if fenced {
-				return fmt.Errorf("span %v: noop after fence", s.ID)
-			}
+		}
+		if rule.Terminal {
 			terminal = ev.Kind
 		}
+		seen[ev.Kind] = true
 	}
 	if terminal == KindNone {
 		return fmt.Errorf("span %v: no terminal event (last is %v)",

@@ -102,6 +102,7 @@ func (s *chunkStore) Span() int64 {
 	return s.span
 }
 
+//lint:hotpath
 func (s *chunkStore) Add(t stream.Tuple) {
 	e := s.insert(t.Key)
 	if e.head == nil {
@@ -129,6 +130,7 @@ func (s *chunkStore) Add(t stream.Tuple) {
 	}
 }
 
+//lint:hotpath
 func (s *chunkStore) AddBulk(tuples []stream.Tuple) {
 	for _, t := range tuples {
 		s.Add(t)
@@ -154,6 +156,7 @@ func (s *chunkStore) ForEachKey(fn func(key stream.Key, count int)) {
 	}
 }
 
+//lint:hotpath
 func (s *chunkStore) ForEachMatch(key stream.Key, fn func(t stream.Tuple)) {
 	e := s.lookup(key)
 	if e == nil {
@@ -200,6 +203,7 @@ func (s *chunkStore) RemoveKey(key stream.Key) []stream.Tuple {
 	return out
 }
 
+//lint:hotpath
 func (s *chunkStore) Advance(now int64) int {
 	if s.span <= 0 {
 		return 0
@@ -235,6 +239,8 @@ func (s *chunkStore) Advance(now int64) int {
 // expireHead pops the key's expired prefix, recycling drained chunks. On
 // return either e.head is nil (key fully expired) or the head tuple's event
 // time is >= cutoff.
+//
+//lint:hotpath
 func (s *chunkStore) expireHead(e *entry, cutoff int64) int {
 	n := 0
 	for e.head != nil {
@@ -283,6 +289,7 @@ func (s *chunkStore) AdvanceVisited() int { return s.visited }
 
 // --- index ---
 
+//lint:hotpath
 func (s *chunkStore) lookup(key stream.Key) *entry {
 	if s.slots == nil {
 		return nil
@@ -323,6 +330,8 @@ func (s *chunkStore) lookupIdx(key stream.Key) (uint64, bool) {
 // insert returns the entry for key, creating an empty one (head == nil) if
 // absent. The caller MUST give a new entry its first chunk before any other
 // index operation runs: head == nil marks a free slot.
+//
+//lint:hotpath
 func (s *chunkStore) insert(key stream.Key) *entry {
 	if s.slots == nil || (s.nKeys+1)*4 > len(s.slots)*3 {
 		s.grow()

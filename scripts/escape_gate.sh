@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# escape_gate.sh — the compiler-backed escape gate.
+#
+# Rebuilds the hot-path packages (internal/window, internal/biclique,
+# internal/engine) with -gcflags=-m, attributes heap-escape diagnostics to
+# functions annotated //lint:hotpath, and diffs them against the
+# checked-in baseline (ci/escape_baseline.txt). A new escape in a hot
+# function fails the gate.
+#
+# To admit an intentional escape (or drop stale entries) in a reviewed
+# change:
+#   go run ./cmd/fastjoin-escape -update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/fastjoin-escape "$@"
