@@ -9,7 +9,7 @@ RACE_FAST_PKGS = ./internal/engine ./internal/biclique ./internal/transport
 CHAOS_RUNS ?= 50
 FUZZTIME   ?= 20s
 
-.PHONY: build test lint vet race race-fast bench bench-smoke obs-smoke chaos fuzz-short cover escape-gate ci
+.PHONY: build test lint vet race race-fast bench bench-smoke obs-smoke chaos chaos-split fuzz-short cover escape-gate ci
 
 build:
 	$(GO) build $(PKGS)
@@ -66,6 +66,14 @@ chaos:
 	$(GO) test -race -count=1 ./internal/chaos
 	$(GO) test -race -count=1 -timeout=30m ./internal/biclique \
 		-run 'Chaos' -args -chaos.runs=$(CHAOS_RUNS)
+
+## chaos-split: the hot-key-splitting slice of the chaos matrix under the
+## race detector — every fault profile with splitting enabled (the
+## differential and store matrices' split=on rows) plus the
+## split→migrate→unsplit interleaving lifecycle.
+chaos-split:
+	$(GO) test -race -count=1 -timeout=15m ./internal/biclique \
+		-run 'TestChaosDifferential/[a-z]+/split=on|TestChaosStoreDifferential/[a-z]+/[a-z]+/split=on|TestSplitMigrateUnsplitInterleaving|TestSplit'
 
 ## fuzz-short: bounded fuzzing of the wire-frame decoder and the routing
 ## update path (corpora are checked in under testdata/fuzz).

@@ -166,9 +166,14 @@ func New(opts Options) (*System, error) {
 		Cooldown:     opts.Migration.Cooldown,
 		SustainTicks: opts.Migration.SustainTicks,
 	}
+	split := biclique.SplitConfig{
+		Threshold: opts.Migration.SplitThreshold,
+		Ways:      opts.Migration.SplitWays,
+	}
 	switch opts.Kind {
 	case KindFastJoin:
 		cfg.Strategy = biclique.StrategyHash
+		cfg.Split = split
 		cfg.Migration = biclique.MigrationConfig{
 			Enabled:      true,
 			Policy:       policy,
@@ -178,6 +183,7 @@ func New(opts Options) (*System, error) {
 		}
 	case KindFastJoinSAFit:
 		cfg.Strategy = biclique.StrategyHash
+		cfg.Split = split
 		sa := core.DefaultSAConfig()
 		sa.Seed = int64(opts.Seed) + 1
 		cfg.Migration = biclique.MigrationConfig{
@@ -345,6 +351,13 @@ type Stats struct {
 	// they are excluded from the latency percentiles above (their send
 	// stamps are stale by the migration handshake's wall-time).
 	ReplayedTuples int64 `json:"replayed_tuples,omitempty"`
+	// SplitKeys is the number of currently split keys (hot keys whose
+	// stores salt across several instances); KeysSplit / KeysUnsplit
+	// count activations and cooldowns over the run. All zero unless
+	// Migration.SplitThreshold is set.
+	SplitKeys   int64 `json:"split_keys,omitempty"`
+	KeysSplit   int64 `json:"keys_split,omitempty"`
+	KeysUnsplit int64 `json:"keys_unsplit,omitempty"`
 	// Heap/GC gauges (biclique.SystemMetrics.RuntimeSample): live heap at
 	// the snapshot, cumulative allocation, and GC work since the system's
 	// metrics were created. The arena store exists to push AllocBytes and
@@ -362,6 +375,9 @@ func (st Stats) String() string {
 		st.StoredR, st.StoredS, st.Migrations, st.MigratedKeys, st.MigratedTuples)
 	if st.MigrationAborts > 0 {
 		s += fmt.Sprintf(" aborts=%d", st.MigrationAborts)
+	}
+	if st.KeysSplit > 0 {
+		s += fmt.Sprintf(" splits=%d (active=%d)", st.KeysSplit, st.SplitKeys)
 	}
 	return s
 }
@@ -385,6 +401,9 @@ func (s *System) Stats() Stats {
 		MigratedTuples:  m.MigratedTuples.Value(),
 		MigrationAborts: m.MigrationAborts.Value(),
 		ReplayedTuples:  m.ReplayedTuples.Count(),
+		SplitKeys:       m.SplitKeys.Value(),
+		KeysSplit:       m.KeysSplit.Value(),
+		KeysUnsplit:     m.KeysUnsplit.Value(),
 		HeapAllocBytes:  rt.HeapAllocBytes,
 		AllocBytes:      rt.AllocBytes,
 		GCCycles:        rt.GCCycles,

@@ -232,6 +232,56 @@ func TestFastJoinMigratesUnderSkew(t *testing.T) {
 	}
 }
 
+func TestFastJoinSplitsMegaKey(t *testing.T) {
+	// One mega-key takes two thirds of all traffic: migrating it whole
+	// cannot help, so with SplitThreshold set the facade must split it
+	// and report that through Stats.
+	i := 0
+	var rSeq, sSeq uint64
+	src := func() (Tuple, bool) {
+		if i >= 20000 {
+			return Tuple{}, false
+		}
+		key := Key(i % 200)
+		if i%3 != 0 {
+			key = 7
+		}
+		t := Tuple{Key: key}
+		if i%2 == 0 {
+			t.Side, t.Seq = R, rSeq
+			rSeq++
+		} else {
+			t.Side, t.Seq = S, sSeq
+			sSeq++
+		}
+		i++
+		return t, true
+	}
+	sys, err := New(Options{
+		Kind:          KindFastJoin,
+		Joiners:       4,
+		Sources:       []TupleSource{src},
+		StatsInterval: 15 * time.Millisecond,
+		Migration:     MigrationOptions{SplitThreshold: 0.3, SplitWays: 2},
+		Predicate:     func(r, s Tuple) bool { return (r.Seq+s.Seq)%64 == 0 },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.WaitComplete(30 * time.Second); err != nil {
+		sys.Stop()
+		t.Fatalf("WaitComplete: %v", err)
+	}
+	sys.Stop()
+	st := sys.Stats()
+	if st.KeysSplit == 0 {
+		t.Errorf("mega-key never split: %+v", st)
+	}
+	if st.SplitKeys == 0 {
+		t.Errorf("split gauge zero while the mega-key stayed hot: %+v", st)
+	}
+}
+
 func TestWindowedOption(t *testing.T) {
 	sys, err := New(Options{
 		Kind:          KindBiStream,

@@ -179,6 +179,7 @@ type BatchResult struct {
 	LatencyMeanUs float64
 	LatencyP99Us  float64
 	Migrations    int64
+	KeysSplit     int64
 	FinalLI       float64
 	// GC accounting of the run (fastjoin.Stats runtime gauges): cumulative
 	// bytes allocated and total GC pause. The store experiment's A/B reads
@@ -210,6 +211,7 @@ func runBatch(kind fastjoin.Kind, opts fastjoin.Options) (BatchResult, error) {
 		LatencyMeanUs: st.LatencyMeanUs,
 		LatencyP99Us:  st.LatencyP99Us,
 		Migrations:    st.Migrations,
+		KeysSplit:     st.KeysSplit,
 		FinalLI:       lastLI(sys),
 		AllocBytes:    st.AllocBytes,
 		GCPauseUs:     st.GCPauseTotalUs,

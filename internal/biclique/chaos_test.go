@@ -118,9 +118,27 @@ func runChaos(t *testing.T, profileName string, seed uint64, nTuples int, mutate
 	return sys
 }
 
+// enableSplit is the chaos matrix's split dimension: hot-key splitting
+// with a threshold the workload's hot keys (~50% of each dispatcher
+// task's traffic) clear comfortably, and a short detector epoch so the
+// handshake gets many retry rounds within a few thousand tuples even
+// when a profile drops intents or acks.
+func enableSplit(cfg *Config) {
+	cfg.Split = SplitConfig{
+		Threshold:      0.15,
+		Ways:           2,
+		Epoch:          128,
+		SketchCapacity: 32,
+	}
+}
+
 // TestChaosDifferential is the base matrix: every built-in fault profile
-// across a handful of seeds, each run checked against the brute-force
-// join. Replay any failure with -chaos.profile/-chaos.seed.
+// across {split off, split on} and a handful of seeds, each run checked
+// against the brute-force join. A split-enabled run must actually split
+// (the workload is skewed enough that a silent detector would void the
+// dimension) and must still emit exactly the reference pair set across
+// every interleaving of split marks, migration fences, and faults.
+// Replay any failure with -chaos.profile/-chaos.seed.
 func TestChaosDifferential(t *testing.T) {
 	profiles := []string{"droponly", "delayonly", "duponly", "mixed"}
 	seeds := 5
@@ -128,12 +146,29 @@ func TestChaosDifferential(t *testing.T) {
 		seeds = 2
 	}
 	for _, profile := range profiles {
-		for seed := uint64(1); seed <= uint64(seeds); seed++ {
-			profile, seed := profile, seed
-			t.Run(fmt.Sprintf("%s/seed=%d", profile, seed), func(t *testing.T) {
-				t.Parallel()
-				runChaos(t, profile, seed, 3000)
-			})
+		for _, split := range []bool{false, true} {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				profile, split, seed := profile, split, seed
+				name := fmt.Sprintf("%s/split=off/seed=%d", profile, seed)
+				if split {
+					name = fmt.Sprintf("%s/split=on/seed=%d", profile, seed)
+				}
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					var mutate []func(*Config)
+					if split {
+						mutate = append(mutate, enableSplit)
+					}
+					sys := runChaos(t, profile, seed, 3000, mutate...)
+					met := sys.Metrics()
+					if split && met.KeysSplit.Value() == 0 {
+						t.Errorf("split-enabled skewed run never split a key (profile=%s seed=%d)", profile, seed)
+					}
+					if !split && met.KeysSplit.Value() != 0 {
+						t.Errorf("split disabled but %d keys split", met.KeysSplit.Value())
+					}
+				})
+			}
 		}
 	}
 }
@@ -260,6 +295,13 @@ func TestChaosClassify(t *testing.T) {
 		{MigrateFlush{}, chaos.ClassMigData},
 		{MigrateAbort{}, chaos.ClassMigData},
 		{MigrateReturn{}, chaos.ClassMigData},
+		// Split handshake: marks are un-droppable fences (losing one
+		// leaves an instance un-tainted under multi-copy routing); the
+		// intent/ack legs are retried, so profiles may attack them.
+		{SplitMark{}, chaos.ClassData},
+		{UnsplitMark{}, chaos.ClassData},
+		{SplitIntent{}, chaos.ClassCommand},
+		{SplitAck{}, chaos.ClassReport},
 		{stream.Tuple{}, chaos.ClassOther},
 		{stream.JoinedPair{}, chaos.ClassOther},
 		{nil, chaos.ClassOther},

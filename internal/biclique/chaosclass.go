@@ -33,6 +33,14 @@ func ChaosClassify(value any) chaos.Class {
 		// would race the pool's reuse of the buffer. ClassData keeps every
 		// profile's hands off.
 		return chaos.ClassData
+	case SplitMark, UnsplitMark:
+		// Split state fences. A mark rides the data lane behind a lane
+		// flush and ahead of the first salted tuple; losing one would leave
+		// a member un-tainted (free to migrate salted tuples out from under
+		// the probe fan-out) or salting stores toward an instance whose
+		// probes no longer cover it. Like the tuple traffic they fence,
+		// marks are not retransmitted — so no profile may touch them.
+		return chaos.ClassData
 	case Marker:
 		if v.Revert {
 			return chaos.ClassMarkerRevert
@@ -42,7 +50,15 @@ func ChaosClassify(value any) chaos.Class {
 		return chaos.ClassRouteUpdate
 	case MigrateCmd:
 		return chaos.ClassCommand
+	case SplitIntent:
+		// The split handshake's request leg: droppable like a MigrateCmd —
+		// the detector re-sends it every epoch until acked.
+		return chaos.ClassCommand
 	case LoadReport, MigrationDone:
+		return chaos.ClassReport
+	case SplitAck:
+		// The handshake's reply leg: droppable; the owner re-acks the next
+		// re-sent intent idempotently.
 		return chaos.ClassReport
 	case MigrateBatch, MigrateFlush, MigrateAbort, MigrateReturn:
 		return chaos.ClassMigData

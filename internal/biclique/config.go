@@ -114,6 +114,33 @@ type MigrationConfig struct {
 	AbortTimeout time.Duration
 }
 
+// SplitConfig controls hot-key splitting: the dispatcher-side heavy-hitter
+// detector and the salted split routing it switches detected keys to.
+// Splitting is the escape hatch for the one workload whole-key migration
+// cannot fix — a single key hotter than one instance's capacity.
+type SplitConfig struct {
+	// Threshold enables splitting when positive: a key becomes a heavy
+	// hitter when its guaranteed frequency share of the observing
+	// dispatcher task's recent traffic reaches Threshold. Each key's
+	// traffic flows through exactly one dispatcher task, so a per-task
+	// sketch sees the key's full stream; the share is relative to that
+	// task's traffic, not the whole system's. A split key un-splits when
+	// its share decays below Threshold/2 (hysteresis). Requires
+	// StrategyHash.
+	Threshold float64
+	// Ways is how many instances per side a split key's stores are salted
+	// over (and its probes broadcast to). Default min(4, JoinersPerSide).
+	Ways int
+	// Epoch is the number of routed tuples a dispatcher task observes
+	// between detector evaluations; every evaluation also halves the
+	// sketch (exponential decay in observation time — no wall clock in
+	// the decision path). Default 2048.
+	Epoch int
+	// SketchCapacity is the SpaceSaving counter budget (default 64; the
+	// detector's error bound is task-traffic/SketchCapacity per epoch).
+	SketchCapacity int
+}
+
 // DefaultBatchSize is the dispatcher batch capacity used when
 // Config.BatchSize is zero. Batching is on by default so every test and
 // chaos run exercises the batched data plane; set BatchSize to 1 for the
@@ -138,6 +165,10 @@ type Config struct {
 	// Migration configures FastJoin's dynamic load balancing (only
 	// meaningful under StrategyHash).
 	Migration MigrationConfig
+	// Split configures hot-key splitting (only meaningful under
+	// StrategyHash; composes with Migration — split keys are excluded
+	// from migration key selection).
+	Split SplitConfig
 	// StatsInterval is how often join instances report load and monitors
 	// evaluate (default 100ms).
 	StatsInterval time.Duration
@@ -271,6 +302,26 @@ func (c *Config) Validate() error {
 	}
 	if c.ServiceRate > 0 && c.MatchCost <= 0 {
 		c.MatchCost = 0.01
+	}
+	if c.Split.Threshold < 0 || c.Split.Threshold > 1 {
+		return fmt.Errorf("biclique: Split.Threshold %v outside [0, 1]", c.Split.Threshold)
+	}
+	if c.Split.Threshold > 0 {
+		if c.Strategy != StrategyHash {
+			return fmt.Errorf("biclique: hot-key splitting requires StrategyHash, not %v", c.Strategy)
+		}
+		if c.Split.Ways <= 0 {
+			c.Split.Ways = 4
+		}
+		if c.Split.Ways > c.JoinersPerSide {
+			c.Split.Ways = c.JoinersPerSide
+		}
+		if c.Split.Epoch <= 0 {
+			c.Split.Epoch = 2048
+		}
+		if c.Split.SketchCapacity <= 0 {
+			c.Split.SketchCapacity = 64
+		}
 	}
 	if c.Migration.Enabled {
 		if c.Migration.Selector == nil {

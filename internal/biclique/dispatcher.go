@@ -107,8 +107,12 @@ func (b *shufflerBolt) Cleanup() {}
 type dispatcherBolt struct {
 	cfg    *Config
 	router routing.Router
-	ctx    engine.Context
-	buf    []int // reusable probe-target buffer
+	met    *SystemMetrics
+	// split is the task's hot-key splitting state (see split.go), nil
+	// unless Config.Split.Threshold is set.
+	split *splitTable
+	ctx   engine.Context
+	buf   []int // reusable probe-target buffer
 	// seq numbers every routed tuple; see TupleMsg.Seq.
 	seq uint64
 	// applied orders routing updates per migration source so a delayed
@@ -146,9 +150,9 @@ func updateOrd(u RouteUpdate) uint64 {
 	return ord
 }
 
-func newDispatcherBolt(cfg *Config) engine.BoltFactory {
+func newDispatcherBolt(cfg *Config, met *SystemMetrics) engine.BoltFactory {
 	return func(task int) engine.Bolt {
-		return &dispatcherBolt{cfg: cfg, router: newRouter(cfg, task)}
+		return &dispatcherBolt{cfg: cfg, met: met, router: newRouter(cfg, task), split: newSplitTable(cfg)}
 	}
 }
 
@@ -187,7 +191,7 @@ func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 		// the marker to ride behind every tuple this task routed before the
 		// update, including tuples still sitting in a lane's open batch.
 		b.flushAll(out)
-		b.router.ApplyUpdate(v.Side, v.Keys, v.NewOwner)
+		b.router.ApplyUpdate(v.Side, b.filterFrozenKeys(v.Keys), v.NewOwner)
 		if first {
 			b.cfg.Tracer.Emit(obs.Event{
 				Kind:       obs.KindRouteApplied,
@@ -221,6 +225,8 @@ func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 			// whose loss triggered the abort.
 			out.EmitDirect(tupleStream(v.Side), v.Source, m)
 		}
+	case SplitAck:
+		b.handleSplitAck(v, out)
 	default:
 		if m.Stream == engine.TickStream {
 			// Linger expired: ship whatever the lanes hold.
@@ -236,6 +242,16 @@ func (b *dispatcherBolt) routeTuple(t stream.Tuple, out *engine.Collector) {
 	now := stream.Now()
 	b.seq++
 	ownSide, oppSide := t.Side, t.Side.Opposite()
+
+	if b.split != nil {
+		// Feed the detector before emitting, so an activation triggered by
+		// this very tuple fences the lanes ahead of it.
+		b.observeSplit(t.Key, out)
+		if e := b.splitLookup(t.Key); e != nil {
+			b.routeSplit(t, e, now, out)
+			return
+		}
+	}
 
 	// Store in the tuple's own group.
 	storeAt := b.router.StoreTarget(ownSide, t.Key)

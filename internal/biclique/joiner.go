@@ -92,6 +92,17 @@ type joinerBolt struct {
 	// provably free of pre-update stragglers and the replay safe.
 	pendingReturn *MigrateReturn
 
+	// Hot-key splitting state. splitTaint holds every key this instance
+	// has acked a SplitIntent for or received a SplitMark for; tainted
+	// keys are excluded from keyStats and can therefore never be selected
+	// for migration — the invariant that keeps a split key's salted
+	// shares pinned in place. Taints last for the system's lifetime (the
+	// unsplit drain contract: members keep their shares after a cool-
+	// down). splitActive tracks only the currently split-marked keys, for
+	// the load reports.
+	splitTaint  map[stream.Key]bool
+	splitActive map[stream.Key]bool
+
 	// Migration target state, per source instance: keys whose batch
 	// arrived but whose flush (or abort return) is still pending, plus
 	// the buffered directly-routed tuples. finished remembers each
@@ -130,6 +141,8 @@ func (b *joinerBolt) Prepare(ctx engine.Context, _ *engine.Collector) {
 	b.probeCur = make(map[stream.Key]int64)
 	b.probePrev = make(map[stream.Key]int64)
 	b.probeMerge = make(map[stream.Key]int64)
+	b.splitTaint = make(map[stream.Key]bool)
+	b.splitActive = make(map[stream.Key]bool)
 	pred := b.cfg.Predicate
 	b.probeFn = func(stored stream.Tuple) {
 		b.probeScanned++
@@ -216,6 +229,14 @@ func (b *joinerBolt) Execute(m engine.Message, out *engine.Collector) {
 		b.handleAbort(v, out)
 	case MigrateReturn:
 		b.handleReturn(v, out)
+	case SplitIntent:
+		b.handleSplitIntent(v, out)
+	case SplitMark:
+		b.taintSplit(v.Key, true)
+	case UnsplitMark:
+		// The active mark lifts; the taint stays — this instance may hold
+		// salted tuples of the key forever (unsplit drain contract).
+		delete(b.splitActive, v.Key)
 	default:
 		if m.Stream == engine.TickStream {
 			b.onTick(out)
@@ -388,6 +409,44 @@ func (b *joinerBolt) trace(source int, ev obs.Event) {
 	ev.Instance = b.ctx.Task
 	ev.Source = source
 	b.cfg.Tracer.Emit(ev)
+}
+
+// handleSplitIntent answers a dispatcher's split request for a key this
+// instance currently owns. The ack is withheld while any migration
+// involving the key is in flight here — as the source holding it in the
+// temporary queue, or as a target with the key inbound — which is what
+// orders a split strictly after a racing migration's fence: the
+// dispatcher re-sends the intent every detector epoch, so the handshake
+// resumes once the attempt commits or rolls back. Acking taints the key
+// (see splitTaint) before permission ever reaches the dispatcher, so by
+// the time salted routing can start, no future selection here can pick
+// the key up again.
+func (b *joinerBolt) handleSplitIntent(v SplitIntent, out *engine.Collector) {
+	if b.migrating && b.migKeys[v.Key] {
+		return
+	}
+	for _, in := range b.inbound {
+		if in.keys[v.Key] {
+			return
+		}
+	}
+	b.taintSplit(v.Key, false)
+	out.Emit(streamRouteUpd, SplitAck{Side: b.side, Key: v.Key, Epoch: v.Epoch, From: b.ctx.Task})
+}
+
+// taintSplit excludes a key from this instance's migration candidates,
+// permanently; active additionally records it as currently split-marked.
+// The maps are allocated in Prepare: this runs inlined inside Execute's
+// hot switch, where a lazy make() would be a new heap escape.
+func (b *joinerBolt) taintSplit(k stream.Key, active bool) {
+	b.splitTaint[k] = true
+	// A tainted key's probe stats are dead weight: drop what accumulated
+	// and let keyStats skip it from now on.
+	delete(b.probeCur, k)
+	delete(b.probePrev, k)
+	if active {
+		b.splitActive[k] = true
+	}
 }
 
 // startMigration is the source-side entry of Algorithm 2.
@@ -888,6 +947,7 @@ func (b *joinerBolt) onTick(out *engine.Collector) {
 			Stored:   int64(b.store.Len()),
 			Probe:    probe,
 		},
+		SplitKeys: len(b.splitActive),
 	})
 	b.probesInterval = 0
 	// Swap-and-clear instead of a fresh map: the interval maps are hot on
@@ -929,10 +989,20 @@ func (b *joinerBolt) keyStats(aggregateProbe int64) []core.KeyStat {
 	b.kcScratch = b.store.AppendKeyCounts(b.kcScratch[:0])
 	stats := b.statScratch[:0]
 	for _, kc := range b.kcScratch {
+		if b.splitTaint[kc.Key] {
+			// Split keys are pinned here: their salted shares (or the
+			// owner share of a split key) must never be offered to the
+			// selector.
+			delete(probe, kc.Key)
+			continue
+		}
 		stats = append(stats, core.KeyStat{Key: kc.Key, Stored: int64(kc.Count), Probe: scaled(probe[kc.Key])})
 		delete(probe, kc.Key)
 	}
 	for k, c := range probe {
+		if b.splitTaint[k] {
+			continue
+		}
 		// Probe-only keys: no stored tuples yet, but routing them away
 		// still moves probe load.
 		stats = append(stats, core.KeyStat{Key: k, Stored: 0, Probe: scaled(c)})

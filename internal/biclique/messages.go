@@ -115,6 +115,12 @@ func putPairBatch(b *PairBatch) {
 type LoadReport struct {
 	Side stream.Side
 	Load core.InstanceLoad
+	// SplitKeys is how many keys this instance is currently split-marked
+	// for (active marks only; residual taints of unsplit keys are not
+	// counted). The monitor exports it so /metrics can show where split
+	// traffic lands; the load model itself needs no correction — salted
+	// stores and fanned-out probes already show up in Stored and Probe.
+	SplitKeys int
 }
 
 // MigrateCmd is the monitor's instruction to the heaviest instance: run the
@@ -225,6 +231,60 @@ type MigrateReturn struct {
 	Epoch    uint64
 	Tuples   []stream.Tuple
 	Buffered []TupleMsg
+}
+
+// SplitIntent opens the hot-key splitting handshake: a dispatcher task
+// that detected a heavy hitter asks the key's current owner in one side
+// group for permission to split. It rides the data lane to the owner and
+// is re-sent every detector epoch until the SplitAck arrives, so a lost
+// intent (or an owner that was mid-migration and stayed silent) only
+// delays the split. Epoch is the dispatcher's split-decision epoch, for
+// diagnostics; the handshake itself is idempotent per key.
+type SplitIntent struct {
+	Side  stream.Side
+	Key   stream.Key
+	Epoch uint64
+}
+
+// SplitAck is the owner's permission to split: it is sent only when no
+// migration attempt involving the key is in flight at that owner (not a
+// migration source holding the key, not a target with the key inbound),
+// and sending it taints the key against every future migration selection
+// at that instance. The ack broadcasts on the routing-update lane (all
+// dispatcher tasks see it; only the key's owning task has a pending
+// intent). Once the dispatcher holds acks from BOTH side groups' owners,
+// no migration of the key can ever start again — the fencing order the
+// split/migrate interleaving tests pin down.
+type SplitAck struct {
+	Side  stream.Side
+	Key   stream.Key
+	Epoch uint64
+	From  int // acking join instance
+}
+
+// SplitMark activates split routing for one key at one join instance. It
+// is fenced like a RouteUpdate's marker: the dispatcher flushes every open
+// batch first and emits the mark on the data lane to the key's owner and
+// every salt member in both side groups, so it arrives BEFORE the first
+// salted store or fanned-out probe on each lane. A receiving instance
+// marks the key split: excluded from migration key selection (GreedyFit
+// and SAFit candidate sets) for as long as the instance may hold salted
+// tuples of it.
+type SplitMark struct {
+	Side  stream.Side
+	Key   stream.Key
+	Epoch uint64
+}
+
+// UnsplitMark deactivates split routing for a cooled key: store salting
+// stops (stores return to the owner) but the mark does NOT lift the
+// migration taint — salted tuples already stored at the members stay
+// where they are and keep being covered by residual probe fan-out (the
+// unsplit drain contract; see DESIGN.md "Hot-key splitting").
+type UnsplitMark struct {
+	Side  stream.Side
+	Key   stream.Key
+	Epoch uint64
 }
 
 // MigrationDone tells the monitor the migration finished, re-arming its

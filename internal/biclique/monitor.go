@@ -56,6 +56,7 @@ func (b *monitorBolt) Execute(m engine.Message, out *engine.Collector) {
 	switch v := m.Value.(type) {
 	case LoadReport:
 		b.latest[v.Load.Instance] = v.Load
+		b.met.RecordSplitReport(b.side, v.Load.Instance, v.SplitKeys)
 	case MigrationDone:
 		b.mon.MigrationDone()
 		if v.Epoch != 0 {

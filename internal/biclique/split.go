@@ -1,0 +1,330 @@
+package biclique
+
+import (
+	"fastjoin/internal/engine"
+	"fastjoin/internal/routing"
+	"fastjoin/internal/sketch"
+	"fastjoin/internal/stream"
+)
+
+// splitSides enumerates the two side groups the way the split handshake
+// walks them.
+var splitSides = [2]stream.Side{stream.R, stream.S}
+
+// splitTable is a dispatcher task's hot-key splitting state: the decayed
+// SpaceSaving sketch that detects heavy hitters in the task's own key
+// traffic, the handshakes in flight, and the per-key split entries that
+// rewrite routing once a split activates.
+//
+// All traffic of one key flows through a single dispatcher task (the
+// shuffler's key→task mapping), so the split state of a key lives at
+// exactly one task and needs no cross-task coordination. Decisions are
+// driven by observation counts, never wall clock, so a seeded run replays
+// the same splits under the chaos harness.
+//
+// A key moves through three states:
+//
+//	pending  — the sketch crossed the threshold; SplitIntents are re-sent
+//	           to both side groups' current owners every detector epoch
+//	           until both SplitAcks arrive. An owner acks only when no
+//	           migration involving the key is in flight there, and the
+//	           ack permanently taints the key against migration selection
+//	           at that instance — so once both acks are in, no migration
+//	           of the key can ever start again.
+//	active   — both owners acked: open batches flush, SplitMarks fence
+//	           every lane to the owner and the salt members of both
+//	           sides, stores salt round-robin across the members, probes
+//	           fan out to owner plus members.
+//	residual — the key cooled below half the threshold: stores return to
+//	           the owner, but the members keep their salted shares, keep
+//	           receiving probes, and stay tainted (the unsplit drain
+//	           contract). A residual key that reheats re-activates
+//	           without a new handshake.
+//
+// Active and residual keys are also frozen in the routing table: the
+// dispatcher drops them from any RouteUpdate, because moving a key whose
+// tuples are spread over several instances would strand the shares the
+// update's source never knew about.
+type splitTable struct {
+	sk        *sketch.SpaceSaving
+	threshold float64
+	ways      int
+	epochLen  int
+	sinceEval int
+	epoch     uint64
+
+	pending map[stream.Key]*pendingSplit
+	entries map[stream.Key]*splitEntry
+
+	// frozenScratch backs the RouteUpdate key filtering; routed updates
+	// are broadcast values shared across dispatcher tasks and must not be
+	// mutated in place.
+	frozenScratch []stream.Key
+}
+
+// pendingSplit tracks one key's intent/ack handshake.
+type pendingSplit struct {
+	acked [2]bool
+}
+
+// splitEntry is one split key's routing state.
+type splitEntry struct {
+	active bool
+	// members holds the salt member set per side group — the key's
+	// ContRand subgroup of Split.Ways instances, the same deterministic
+	// range on every dispatcher task.
+	members [2][]int
+	// rr is the per-side round-robin cursor for store salting.
+	rr [2]uint32
+}
+
+func newSplitTable(cfg *Config) *splitTable {
+	if cfg.Split.Threshold <= 0 {
+		return nil
+	}
+	return &splitTable{
+		sk:        sketch.New(cfg.Split.SketchCapacity),
+		threshold: cfg.Split.Threshold,
+		ways:      cfg.Split.Ways,
+		epochLen:  cfg.Split.Epoch,
+		pending:   make(map[stream.Key]*pendingSplit),
+		entries:   make(map[stream.Key]*splitEntry),
+	}
+}
+
+// observeSplit feeds one routed tuple into the detector and runs the
+// epoch evaluation at the boundary. Called before the tuple is emitted,
+// so an activation's marks fence the lanes ahead of the very tuple that
+// tipped the key over.
+//
+//lint:hotpath
+func (b *dispatcherBolt) observeSplit(key stream.Key, out *engine.Collector) {
+	sp := b.split
+	sp.sk.Observe(key)
+	sp.sinceEval++
+	if sp.sinceEval >= sp.epochLen {
+		sp.sinceEval = 0
+		sp.epoch++
+		b.evalSplit(out)
+		sp.sk.Halve()
+	}
+}
+
+// splitLookup returns the split entry routeTuple must honor, or nil for
+// the common unsplit key. Residual entries still reroute probes (the
+// members hold salted shares until the system ends), so both states hit
+// the split path.
+//
+//lint:hotpath
+func (b *dispatcherBolt) splitLookup(key stream.Key) *splitEntry {
+	if len(b.split.entries) == 0 {
+		return nil
+	}
+	return b.split.entries[key]
+}
+
+// evalSplit runs once per detector epoch: promote fresh heavy hitters to
+// pending, drive the pending handshakes, and cool down split keys whose
+// share collapsed.
+func (b *dispatcherBolt) evalSplit(out *engine.Collector) {
+	sp := b.split
+	total := sp.sk.Total()
+	if total == 0 {
+		return
+	}
+	th := int64(sp.threshold * float64(total))
+	if th < 1 {
+		th = 1
+	}
+	// Guaranteed-count test (count − err): SpaceSaving overestimates, so
+	// gating on the guaranteed floor keeps false splits out at the cost
+	// of detecting a genuine heavy hitter an epoch later.
+	sp.sk.ForEach(func(k stream.Key, count, err int64) {
+		if count-err < th {
+			return
+		}
+		if e, ok := sp.entries[k]; ok {
+			if !e.active {
+				// A residual key reheated: its members are tainted and
+				// still covered by probes, so re-activation needs no new
+				// handshake — just the store-salting fence.
+				b.activateSplit(k, e, out)
+			}
+			return
+		}
+		if sp.pending[k] == nil {
+			sp.pending[k] = new(pendingSplit)
+		}
+	})
+	for k, p := range sp.pending {
+		if c, err, ok := sp.sk.Estimate(k); !ok || c-err < th {
+			// Cooled off before the handshake completed: abandon it. Any
+			// ack already collected left a harmless taint at that owner.
+			delete(sp.pending, k)
+			continue
+		}
+		for _, side := range splitSides {
+			if p.acked[side] {
+				continue
+			}
+			// Re-sent every epoch until acked: intents and acks ride
+			// droppable lanes, and an owner that is mid-migration stays
+			// silent until its attempt finishes.
+			out.EmitDirect(tupleStream(side), b.router.StoreTarget(side, k),
+				SplitIntent{Side: side, Key: k, Epoch: sp.epoch})
+		}
+	}
+	for k, e := range sp.entries {
+		if !e.active {
+			continue
+		}
+		if c, _, ok := sp.sk.Estimate(k); !ok || c < th/2 {
+			// Half-threshold hysteresis so a key hovering at the boundary
+			// does not flap between salted and plain routing.
+			b.deactivateSplit(k, e, out)
+		}
+	}
+}
+
+// handleSplitAck records one owner's permission. When both side groups'
+// owners have acked, the key's tuples can never again move between
+// instances — the precondition for multi-instance routing — and the
+// split activates.
+func (b *dispatcherBolt) handleSplitAck(v SplitAck, out *engine.Collector) {
+	sp := b.split
+	if sp == nil {
+		return
+	}
+	// Acks broadcast to every dispatcher task; only the task that owns
+	// the key's traffic has a pending handshake, the rest ignore.
+	p, ok := sp.pending[v.Key]
+	if !ok {
+		return
+	}
+	p.acked[v.Side] = true
+	if !p.acked[stream.R] || !p.acked[stream.S] {
+		return
+	}
+	delete(sp.pending, v.Key)
+	e := new(splitEntry)
+	sp.entries[v.Key] = e
+	b.activateSplit(v.Key, e, out)
+}
+
+// activateSplit switches one key to salted routing. The fencing order is
+// the heart of the exactly-once argument: every open batch flushes first,
+// then a SplitMark is emitted to the owner and every member on both
+// sides' data lanes — so on each lane the mark precedes the first salted
+// store or fanned-out probe, and an instance processes no multi-copy
+// tuple of the key before it is marked (and therefore tainted).
+func (b *dispatcherBolt) activateSplit(k stream.Key, e *splitEntry, out *engine.Collector) {
+	sp := b.split
+	e.active = true
+	b.flushAll(out)
+	for _, side := range splitSides {
+		lo, hi := routing.SubgroupRange(b.cfg.JoinersPerSide, sp.ways, b.cfg.Seed, side, k)
+		e.members[side] = e.members[side][:0]
+		for i := lo; i < hi; i++ {
+			e.members[side] = append(e.members[side], i)
+		}
+		mark := SplitMark{Side: side, Key: k, Epoch: sp.epoch}
+		owner := b.router.StoreTarget(side, k)
+		out.EmitDirect(tupleStream(side), owner, mark)
+		for _, m := range e.members[side] {
+			if m != owner {
+				out.EmitDirect(tupleStream(side), m, mark)
+			}
+		}
+	}
+	b.met.KeysSplit.Inc()
+	b.met.SplitKeys.Add(1)
+}
+
+// deactivateSplit cools one key down to residual state: stores return to
+// the owner, probes keep covering the members (their salted shares stay
+// put — the unsplit drain contract), and the entry is retained so the
+// routing freeze and a cheap re-activation survive.
+func (b *dispatcherBolt) deactivateSplit(k stream.Key, e *splitEntry, out *engine.Collector) {
+	sp := b.split
+	e.active = false
+	// Flush so the mark rides behind the last salted store of each lane;
+	// the joiners' active-count bookkeeping then never runs ahead of the
+	// tuples it describes.
+	b.flushAll(out)
+	for _, side := range splitSides {
+		mark := UnsplitMark{Side: side, Key: k, Epoch: sp.epoch}
+		owner := b.router.StoreTarget(side, k)
+		out.EmitDirect(tupleStream(side), owner, mark)
+		for _, m := range e.members[side] {
+			if m != owner {
+				out.EmitDirect(tupleStream(side), m, mark)
+			}
+		}
+	}
+	b.met.KeysUnsplit.Inc()
+	b.met.SplitKeys.Add(-1)
+}
+
+// filterFrozenKeys drops split keys from a RouteUpdate's key list. A
+// split (or residual) key's routing entry is frozen: its stored tuples
+// are spread over owner plus members, and applying an ownership change
+// would point probes away from shares that never move. The only way such
+// an update can arise is a stale selection — e.g. an old owner's
+// probe-only statistics within the two-tick staleness window — so the
+// dispatcher refuses just those keys and applies the rest of the update
+// unchanged. The update's marker handshake is untouched: markers answer
+// the update, not the key set.
+func (b *dispatcherBolt) filterFrozenKeys(keys []stream.Key) []stream.Key {
+	sp := b.split
+	if sp == nil || len(sp.entries) == 0 {
+		return keys
+	}
+	frozen := 0
+	for _, k := range keys {
+		if _, ok := sp.entries[k]; ok {
+			frozen++
+		}
+	}
+	if frozen == 0 {
+		return keys
+	}
+	// The update is a broadcast value shared across dispatcher tasks:
+	// filter into a scratch copy, never in place.
+	kept := sp.frozenScratch[:0]
+	for _, k := range keys {
+		if _, ok := sp.entries[k]; !ok {
+			kept = append(kept, k)
+		}
+	}
+	sp.frozenScratch = kept
+	b.met.SplitFrozenKeys.Add(int64(frozen))
+	return kept
+}
+
+// routeSplit routes one tuple of a split (or residual) key: the store
+// copy salts round-robin across the key's own-side members while the
+// split is active (the owner keeps its pre-split share), and the probe
+// copies fan out to the opposite side's owner plus members — every
+// instance that may hold stored tuples of the key. All copies carry the
+// same Seq, like the multi-target strategies' probe copies.
+//
+//lint:hotpath
+func (b *dispatcherBolt) routeSplit(t stream.Tuple, e *splitEntry, now int64, out *engine.Collector) {
+	ownSide, oppSide := t.Side, t.Side.Opposite()
+
+	storeAt := b.router.StoreTarget(ownSide, t.Key)
+	if e.active {
+		m := e.members[ownSide]
+		storeAt = m[int(e.rr[ownSide])%len(m)]
+		e.rr[ownSide]++
+	}
+	b.emitTuple(ownSide, storeAt, TupleMsg{T: t, Op: OpStore, SentAt: now, Seq: b.seq}, out)
+
+	owner := b.router.StoreTarget(oppSide, t.Key)
+	b.emitTuple(oppSide, owner, TupleMsg{T: t, Op: OpProbe, SentAt: now, Seq: b.seq}, out)
+	for _, m := range e.members[oppSide] {
+		if m != owner {
+			b.emitTuple(oppSide, m, TupleMsg{T: t, Op: OpProbe, SentAt: now, Seq: b.seq}, out)
+		}
+	}
+}

@@ -47,6 +47,21 @@ type SystemMetrics struct {
 	// here instead of polluting the Latency histogram.
 	ReplayedTuples *metrics.Meter
 
+	// Hot-key splitting accounting (see DESIGN.md "Hot-key splitting").
+	// SplitKeys gauges the keys currently split-routed across all
+	// dispatcher tasks; KeysSplit / KeysUnsplit count activation and
+	// cool-down events over the system's lifetime (a key that oscillates
+	// counts each transition).
+	SplitKeys   metrics.Gauge
+	KeysSplit   metrics.Counter
+	KeysUnsplit metrics.Counter
+	// SplitFrozenKeys counts keys a dispatcher dropped from a RouteUpdate
+	// because they were split: once a key's split activates, its routing
+	// entry is frozen — salted shares must never move between instances —
+	// so any late selection of the key (e.g. from an old owner's stale
+	// probe statistics) is refused rather than applied.
+	SplitFrozenKeys metrics.Counter
+
 	// gcBase is the runtime memory state captured at NewSystemMetrics;
 	// RuntimeSample reports GC activity as deltas against it so the numbers
 	// isolate this system's run, not the whole process lifetime.
@@ -65,6 +80,9 @@ type SystemMetrics struct {
 	// above serve the post-hoc figure exports).
 	lastLoads [2][]core.InstanceLoad
 	lastLI    [2]float64
+	// splitReported holds each joiner's latest count of actively split
+	// keys it is marked for (LoadReport.SplitKeys), per side/instance.
+	splitReported [2][]int
 }
 
 // RuntimeSample is a point-in-time view of the process heap and the GC
@@ -106,6 +124,7 @@ func NewSystemMetrics(joinersPerSide int) *SystemMetrics {
 		m.liSeries[side] = &metrics.TimeSeries{}
 		m.loadSeries[side] = make([]*metrics.TimeSeries, joinersPerSide)
 		m.lastLoads[side] = make([]core.InstanceLoad, joinersPerSide)
+		m.splitReported[side] = make([]int, joinersPerSide)
 		for i := range m.loadSeries[side] {
 			m.loadSeries[side][i] = &metrics.TimeSeries{}
 			m.lastLoads[side][i] = core.InstanceLoad{Instance: i}
@@ -186,6 +205,26 @@ func (m *SystemMetrics) LoadSeries(side stream.Side, instance int) []metrics.Poi
 		return nil
 	}
 	return series[instance].Points()
+}
+
+// RecordSplitReport stores one joiner's latest count of actively split
+// keys, as carried by its LoadReport.
+func (m *SystemMetrics) RecordSplitReport(side stream.Side, instance, keys int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if instance >= 0 && instance < len(m.splitReported[side]) {
+		m.splitReported[side][instance] = keys
+	}
+}
+
+// SplitReported returns the latest per-instance counts of actively split
+// keys on a side (index = instance).
+func (m *SystemMetrics) SplitReported(side stream.Side) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, len(m.splitReported[side]))
+	copy(out, m.splitReported[side])
+	return out
 }
 
 // RecordMigration appends one migration event.

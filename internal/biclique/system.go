@@ -56,7 +56,7 @@ func Start(cfg Config) (*System, error) {
 	// exactly-once argument rely on. The shuffler owns the key→task
 	// mapping (a direct subscription, not an engine grouping) so it can
 	// batch its per-dispatcher lanes.
-	dispatcher := b.AddBolt(CompDispatcher, newDispatcherBolt(&cfg), cfg.Dispatchers).
+	dispatcher := b.AddBolt(CompDispatcher, newDispatcherBolt(&cfg, met), cfg.Dispatchers).
 		Direct(CompShuffler, streamTuples).
 		BroadcastCtrl(CompJoinerR, streamRouteUpd).
 		BroadcastCtrl(CompJoinerS, streamRouteUpd)

@@ -1,0 +1,10 @@
+package engine
+
+// NullCollector returns a Collector wired to nothing: it belongs to no
+// topology, so every Emit and EmitDirect finds zero subscriptions and is
+// a no-op, and QueueLen reports zero. It exists so bolt unit tests can
+// drive lifecycle methods that emit without assembling a cluster; a
+// running topology never uses it.
+func NullCollector() *Collector {
+	return &Collector{task: &task{}}
+}

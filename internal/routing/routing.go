@@ -108,12 +108,29 @@ func NewContRand(n, g int, seed uint64, salt int) *ContRand {
 
 // Members returns the half-open instance range of the key's subgroup.
 func (r *ContRand) Members(side stream.Side, key stream.Key) (lo, hi int) {
-	groups := (r.n + r.g - 1) / r.g
-	g := xhash.SeededPartition(key, r.seed^uint64(side+1)*0x9e37, groups)
-	lo = g * r.g
-	hi = lo + r.g
-	if hi > r.n {
-		hi = r.n
+	return SubgroupRange(r.n, r.g, r.seed, side, key)
+}
+
+// SubgroupRange computes the contiguous g-instance subgroup a key hashes
+// to within a side group of n instances, as a half-open range [lo, hi).
+// It is the subgroup geometry ContRand routes with, exported so the
+// dispatcher's hot-key splitting can salt a heavy hitter's stores over the
+// same deterministic member set its probes broadcast to: same n, g, seed
+// and side always yield the same range, on every dispatcher task, with no
+// coordination.
+func SubgroupRange(n, g int, seed uint64, side stream.Side, key stream.Key) (lo, hi int) {
+	if g < 1 {
+		g = 1
+	}
+	if g > n {
+		g = n
+	}
+	groups := (n + g - 1) / g
+	grp := xhash.SeededPartition(key, seed^uint64(side+1)*0x9e37, groups)
+	lo = grp * g
+	hi = lo + g
+	if hi > n {
+		hi = n
 	}
 	return lo, hi
 }

@@ -222,3 +222,51 @@ func TestProbeTargetsInRangeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: SubgroupRange is a well-formed, deterministic tiling of the
+// instance space — every key's range is non-empty, in bounds, aligned to a
+// group boundary, and identical to what ContRand.Members routes with (the
+// contract hot-key splitting relies on: stores salted over the range are
+// always covered by probes broadcast to the same range).
+func TestSubgroupRangeProperty(t *testing.T) {
+	f := func(key stream.Key, sideRaw, nRaw, gRaw uint8, seed uint64) bool {
+		side := stream.Side(sideRaw % 2)
+		n := int(nRaw%16) + 1
+		g := int(gRaw % 20) // may exceed n or be zero: must clamp
+		lo, hi := SubgroupRange(n, g, seed, side, key)
+		if lo < 0 || hi > n || lo >= hi {
+			return false
+		}
+		gc := g
+		if gc < 1 {
+			gc = 1
+		}
+		if gc > n {
+			gc = n
+		}
+		if hi-lo > gc || lo%gc != 0 {
+			return false
+		}
+		// Deterministic: same inputs, same range.
+		lo2, hi2 := SubgroupRange(n, g, seed, side, key)
+		return lo == lo2 && hi == hi2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubgroupRangeMatchesContRand(t *testing.T) {
+	const n, g, seed = 10, 3, 77
+	r := NewContRand(n, g, seed, 0)
+	for _, side := range []stream.Side{stream.R, stream.S} {
+		for key := stream.Key(0); key < 200; key++ {
+			clo, chi := r.Members(side, key)
+			slo, shi := SubgroupRange(n, g, seed, side, key)
+			if clo != slo || chi != shi {
+				t.Fatalf("side %v key %d: ContRand [%d,%d) != SubgroupRange [%d,%d)",
+					side, key, clo, chi, slo, shi)
+			}
+		}
+	}
+}

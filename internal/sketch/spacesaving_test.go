@@ -1,0 +1,277 @@
+package sketch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fastjoin/internal/stream"
+	"fastjoin/internal/workload"
+)
+
+// exactCounts replays a trace into a map for ground truth.
+func exactCounts(trace []stream.Key) map[stream.Key]int64 {
+	m := make(map[stream.Key]int64)
+	for _, k := range trace {
+		m[k]++
+	}
+	return m
+}
+
+// zipfTrace samples n keys from a seeded zipf(theta) over the key universe.
+func zipfTrace(n, keys int, theta float64, seed int64) []stream.Key {
+	z := workload.NewZipf(keys, theta, seed)
+	out := make([]stream.Key, n)
+	for i := range out {
+		out[i] = z.Sample()
+	}
+	return out
+}
+
+// TestSpaceSavingErrorBound is the SpaceSaving guarantee as a property
+// over random traces: for every tracked key, the count never
+// underestimates, overestimates by at most the recorded error bound, and
+// the error bound itself stays within ε·N for ε = 1/capacity. Keys hotter
+// than ε·N must be tracked.
+func TestSpaceSavingErrorBound(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		theta    float64
+		keys     int
+		capacity int
+	}{
+		{"uniform", 0, 1000, 32},
+		{"zipf0.5", 0.5, 1000, 32},
+		{"zipf1.0", 1.0, 1000, 64},
+		{"zipf1.5", 1.5, 500, 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				n := 50_000
+				trace := zipfTrace(n, tc.keys, tc.theta, seed)
+				s := New(tc.capacity)
+				for _, k := range trace {
+					s.Observe(k)
+				}
+				truth := exactCounts(trace)
+				epsN := int64(n) / int64(tc.capacity)
+				if s.Total() != int64(n) {
+					t.Fatalf("Total = %d, want %d", s.Total(), n)
+				}
+				s.ForEach(func(k stream.Key, count, err int64) {
+					f := truth[k]
+					if count < f {
+						t.Errorf("seed %d key %d: count %d underestimates true %d", seed, k, count, f)
+					}
+					if count-err > f {
+						t.Errorf("seed %d key %d: guaranteed count %d exceeds true %d", seed, k, count-err, f)
+					}
+					if count-f > epsN {
+						t.Errorf("seed %d key %d: overestimate %d exceeds ε·N = %d", seed, k, count-f, epsN)
+					}
+					if err > epsN {
+						t.Errorf("seed %d key %d: error bound %d exceeds ε·N = %d", seed, k, err, epsN)
+					}
+				})
+				for k, f := range truth {
+					if f <= epsN {
+						continue
+					}
+					if _, _, ok := s.Estimate(k); !ok {
+						t.Errorf("seed %d: key %d with true count %d > ε·N = %d not tracked", seed, k, f, epsN)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpaceSavingDecayMonotonic: halving never increases any estimate or
+// the total, repeated halving drains every counter, and the relative
+// ordering of tracked keys is preserved.
+func TestSpaceSavingDecayMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := New(24)
+	for i := 0; i < 20_000; i++ {
+		s.Observe(stream.Key(rng.Intn(200)))
+	}
+	for round := 0; round < 64; round++ {
+		type snap struct{ count, err int64 }
+		before := make(map[stream.Key]snap)
+		s.ForEach(func(k stream.Key, count, err int64) {
+			before[k] = snap{count, err}
+		})
+		beforeTotal := s.Total()
+		s.Halve()
+		if s.Total() > beforeTotal/2 {
+			t.Fatalf("round %d: total %d after halve, was %d", round, s.Total(), beforeTotal)
+		}
+		s.ForEach(func(k stream.Key, count, err int64) {
+			b, ok := before[k]
+			if !ok {
+				t.Fatalf("round %d: key %d appeared out of nowhere after decay", round, k)
+			}
+			if count > b.count/2 || err > b.err/2 {
+				t.Fatalf("round %d key %d: decay not monotone: count %d->%d err %d->%d",
+					round, k, b.count, count, b.err, err)
+			}
+		})
+	}
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Errorf("64 halvings left %d tracked keys, total %d; decay must drain the sketch", s.Len(), s.Total())
+	}
+}
+
+// TestSpaceSavingDecayTracksRecency: a key that dominates early traffic and
+// then disappears must decay below a key that dominates late traffic, even
+// though both have equal lifetime counts — the property the un-split
+// decision relies on.
+func TestSpaceSavingDecayTracksRecency(t *testing.T) {
+	const epoch = 1000
+	s := New(16)
+	observeEpoch := func(hot stream.Key, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < epoch; i++ {
+			if i%2 == 0 {
+				s.Observe(hot)
+			} else {
+				s.Observe(stream.Key(100 + rng.Intn(400)))
+			}
+		}
+		s.Halve()
+	}
+	for e := 0; e < 8; e++ {
+		observeEpoch(1, int64(e)) // key 1 hot early
+	}
+	for e := 0; e < 8; e++ {
+		observeEpoch(2, int64(100+e)) // key 2 hot late, key 1 silent
+	}
+	c1, _, ok1 := s.Estimate(1)
+	c2, _, ok2 := s.Estimate(2)
+	if !ok2 {
+		t.Fatal("currently-hot key 2 not tracked")
+	}
+	if ok1 && c1 >= c2 {
+		t.Errorf("stale hot key 1 (count %d) not decayed below current hot key 2 (count %d)", c1, c2)
+	}
+}
+
+// TestSpaceSavingGoldenTopK compares the sketch's top-k against exact
+// counts on zipf traces at θ ∈ {0.5, 1.0, 1.5}: the guaranteed heavy
+// hitters (count − err above the per-θ share) must be exactly the truly
+// heavy keys, and the sketch's top-k ranking must recall the exact top-k.
+func TestSpaceSavingGoldenTopK(t *testing.T) {
+	const (
+		n    = 200_000
+		seed = 7
+	)
+	for _, tc := range []struct {
+		theta    float64
+		keys     int
+		capacity int
+		k        int
+		// minRecall is the fraction of the exact top-k that must appear in
+		// the sketch's top-k. θ=0.5 is weak skew — the head is so flat that
+		// neighbouring ranks differ by less than the sketch's ε·N
+		// resolution — so it gets a smaller key universe, a bigger table,
+		// and a looser bar; θ≥1 must nail the head outright.
+		minRecall float64
+	}{
+		{0.5, 1_000, 256, 8, 0.5},
+		{1.0, 10_000, 64, 8, 1.0},
+		{1.5, 10_000, 64, 8, 1.0},
+	} {
+		trace := zipfTrace(n, tc.keys, tc.theta, seed)
+		s := New(tc.capacity)
+		for _, k := range trace {
+			s.Observe(k)
+		}
+		truth := exactCounts(trace)
+
+		type kc struct {
+			key stream.Key
+			c   int64
+		}
+		exact := make([]kc, 0, len(truth))
+		for k, c := range truth {
+			exact = append(exact, kc{k, c})
+		}
+		sort.Slice(exact, func(i, j int) bool {
+			if exact[i].c != exact[j].c {
+				return exact[i].c > exact[j].c
+			}
+			return exact[i].key < exact[j].key
+		})
+		var approx []kc
+		s.ForEach(func(k stream.Key, count, _ int64) {
+			approx = append(approx, kc{k, count})
+		})
+		sort.Slice(approx, func(i, j int) bool {
+			if approx[i].c != approx[j].c {
+				return approx[i].c > approx[j].c
+			}
+			return approx[i].key < approx[j].key
+		})
+
+		topApprox := make(map[stream.Key]bool, tc.k)
+		for i := 0; i < tc.k && i < len(approx); i++ {
+			topApprox[approx[i].key] = true
+		}
+		hits := 0
+		for i := 0; i < tc.k && i < len(exact); i++ {
+			if topApprox[exact[i].key] {
+				hits++
+			}
+		}
+		if recall := float64(hits) / float64(tc.k); recall < tc.minRecall {
+			t.Errorf("θ=%.1f: sketch top-%d recalled %d/%d exact heavy hitters, need ≥ %.0f%%",
+				tc.theta, tc.k, hits, tc.k, tc.minRecall*100)
+		}
+
+		// Guaranteed heavy hitters are sound: any key whose guaranteed count
+		// clears a share threshold really does clear it minus ε.
+		threshold := int64(float64(n) * 0.02)
+		epsN := int64(n / tc.capacity)
+		s.ForEach(func(k stream.Key, count, err int64) {
+			if count-err >= threshold && truth[k] < threshold-epsN {
+				t.Errorf("θ=%.1f key %d: guaranteed %d but true count %d far below threshold %d",
+					tc.theta, k, count-err, truth[k], threshold)
+			}
+		})
+	}
+}
+
+// TestSpaceSavingObserveAllocFree pins the hot-path contract: once the
+// counter table is full, Observe allocates nothing.
+func TestSpaceSavingObserveAllocFree(t *testing.T) {
+	s := New(32)
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]stream.Key, 4096)
+	for i := range keys {
+		keys[i] = stream.Key(rng.Intn(500))
+	}
+	for _, k := range keys {
+		s.Observe(k) // warm up: table fills, map reaches steady size
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		s.Observe(keys[i%len(keys)])
+		i++
+	})
+	if allocs > 0 {
+		t.Errorf("Observe allocates %.1f per op at steady state; must be 0", allocs)
+	}
+}
+
+func TestSpaceSavingTinyCapacity(t *testing.T) {
+	s := New(0) // clamped to 1
+	for i := 0; i < 100; i++ {
+		s.Observe(stream.Key(i % 3))
+	}
+	if s.Capacity() != 1 || s.Len() != 1 {
+		t.Fatalf("capacity/len = %d/%d, want 1/1", s.Capacity(), s.Len())
+	}
+	if c, _, ok := s.Estimate(stream.Key(99 % 3)); !ok || c < 33 {
+		t.Errorf("single counter lost the stream: count %d ok %v", c, ok)
+	}
+}

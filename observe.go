@@ -122,6 +122,7 @@ func (o *obsSource) ObsFamilies() []obs.Family {
 	stored := obs.Family{Name: "fastjoin_instance_stored", Help: "Per-instance stored tuples |R_i|.", Type: obs.TypeGauge}
 	probe := obs.Family{Name: "fastjoin_instance_probe_pressure", Help: "Per-instance probe arrivals phi_si in the last report interval.", Type: obs.TypeGauge}
 	li := obs.Family{Name: "fastjoin_load_imbalance", Help: "Degree of load imbalance LI per side (monitor's latest observation).", Type: obs.TypeGauge}
+	splitRep := obs.Family{Name: "fastjoin_split_keys_reported", Help: "Actively split keys per join instance, from the latest load report.", Type: obs.TypeGauge}
 	for _, side := range []stream.Side{stream.R, stream.S} {
 		sideLbl := side.String()
 		for _, l := range m.InstanceLoads(side) {
@@ -130,9 +131,13 @@ func (o *obsSource) ObsFamilies() []obs.Family {
 			stored.Samples = append(stored.Samples, obs.Sample{Labels: lbls, Value: float64(l.Stored)})
 			probe.Samples = append(probe.Samples, obs.Sample{Labels: lbls, Value: float64(l.Probe)})
 		}
+		for inst, n := range m.SplitReported(side) {
+			splitRep.Samples = append(splitRep.Samples, obs.Sample{
+				Labels: obs.L("side", sideLbl, "instance", strconv.Itoa(inst)), Value: float64(n)})
+		}
 		li.Samples = append(li.Samples, obs.Sample{Labels: obs.L("side", sideLbl), Value: m.LastLI(side)})
 	}
-	fams = append(fams, load, stored, probe, li)
+	fams = append(fams, load, stored, probe, li, splitRep)
 
 	// Engine queue congestion, per task: the instantaneous backlog and the
 	// deepest backlog observed since start.
@@ -163,6 +168,14 @@ func (o *obsSource) ObsFamilies() []obs.Family {
 			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(st.ReplayedTuples)}}},
 		obs.Family{Name: "fastjoin_migrations_in_flight", Help: "Migration handshakes or rollbacks not yet finished.",
 			Type: obs.TypeGauge, Samples: []obs.Sample{{Value: float64(s.MigrationsInFlight())}}},
+		obs.Family{Name: "fastjoin_split_keys", Help: "Currently split hot keys (stores salted across instances).",
+			Type: obs.TypeGauge, Samples: []obs.Sample{{Value: float64(st.SplitKeys)}}},
+		obs.Family{Name: "fastjoin_keys_split_total", Help: "Hot-key split activations (including residual re-activations).",
+			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(st.KeysSplit)}}},
+		obs.Family{Name: "fastjoin_keys_unsplit_total", Help: "Split keys cooled down to residual routing.",
+			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(st.KeysUnsplit)}}},
+		obs.Family{Name: "fastjoin_split_frozen_keys_total", Help: "Keys dropped from routing updates because their split routing is frozen.",
+			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(m.SplitFrozenKeys.Value())}}},
 		obs.Family{Name: "fastjoin_trace_events_total", Help: "Control-plane trace events emitted.",
 			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(s.trace.Emitted())}}},
 		obs.Family{Name: "fastjoin_trace_events_evicted_total", Help: "Trace events evicted by the bounded ring.",

@@ -115,6 +115,17 @@ type MigrationOptions struct {
 	// 0 disables aborts (a stuck handshake then relies on re-broadcast
 	// alone).
 	AbortTimeout time.Duration
+	// SplitThreshold enables hot-key splitting: a key whose share of its
+	// dispatcher task's traffic exceeds this fraction (per detector
+	// epoch) is split — its stored tuples salt across SplitWays join
+	// instances and probes fan out to all of them — instead of being
+	// migrated whole, which cannot help a single key hotter than an
+	// entire instance's fair share. 0 (the default) disables splitting;
+	// the valid range is (0, 1]. FastJoin kinds only.
+	SplitThreshold float64
+	// SplitWays is how many instances per side a split key salts across
+	// (default 4, clamped to Joiners).
+	SplitWays int
 }
 
 // BatchOptions tunes the batched data plane.
@@ -347,6 +358,12 @@ func (o *Options) Validate() error {
 	}
 	if o.ServiceRate < 0 {
 		return fmt.Errorf("fastjoin: negative ServiceRate")
+	}
+	if o.Migration.SplitThreshold < 0 || o.Migration.SplitThreshold > 1 {
+		return fmt.Errorf("fastjoin: SplitThreshold %v outside (0, 1]", o.Migration.SplitThreshold)
+	}
+	if o.Migration.SplitThreshold > 0 && o.Kind != KindFastJoin && o.Kind != KindFastJoinSAFit {
+		return fmt.Errorf("fastjoin: SplitThreshold requires a FastJoin kind (hot-key splitting rides the migration machinery)")
 	}
 
 	// Defaults, normalized here instead of scattering them across New and

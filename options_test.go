@@ -121,6 +121,12 @@ func TestValidateRejects(t *testing.T) {
 		{"bad kind", Options{Kind: Kind(42)}, "unknown system kind"},
 		{"negative batch", Options{Batching: BatchOptions{Size: -1}}, "batch"},
 		{"negative window", Options{Windowing: WindowOptions{Span: -time.Second}}, "window"},
+		{"split threshold over one", Options{Kind: KindFastJoin,
+			Migration: MigrationOptions{SplitThreshold: 1.5}}, "SplitThreshold"},
+		{"split threshold negative", Options{Kind: KindFastJoin,
+			Migration: MigrationOptions{SplitThreshold: -0.1}}, "SplitThreshold"},
+		{"split on baseline", Options{Kind: KindBiStream,
+			Migration: MigrationOptions{SplitThreshold: 0.2}}, "FastJoin kind"},
 	}
 	for _, c := range cases {
 		err := c.o.Validate()
