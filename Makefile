@@ -69,11 +69,13 @@ chaos:
 
 ## chaos-split: the hot-key-splitting slice of the chaos matrix under the
 ## race detector — every fault profile with splitting enabled (the
-## differential and store matrices' split=on rows) plus the
-## split→migrate→unsplit interleaving lifecycle.
+## differential and store matrices' split=on rows), the
+## split→migrate→unsplit interleaving lifecycle, and the churn/retire
+## scenario (splits must cool, drain, and retire under every profile,
+## with the split table returning to empty — the bounded-memory check).
 chaos-split:
 	$(GO) test -race -count=1 -timeout=15m ./internal/biclique \
-		-run 'TestChaosDifferential/[a-z]+/split=on|TestChaosStoreDifferential/[a-z]+/[a-z]+/split=on|TestSplitMigrateUnsplitInterleaving|TestSplit'
+		-run 'TestChaosDifferential/[a-z]+/split=on|TestChaosStoreDifferential/[a-z]+/[a-z]+/split=on|TestSplitMigrateUnsplitInterleaving|TestSplit|TestChaosChurnRetire|TestChurnRetireTraceSpans'
 
 ## fuzz-short: bounded fuzzing of the wire-frame decoder and the routing
 ## update path (corpora are checked in under testdata/fuzz).

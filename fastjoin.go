@@ -353,11 +353,16 @@ type Stats struct {
 	ReplayedTuples int64 `json:"replayed_tuples,omitempty"`
 	// SplitKeys is the number of currently split keys (hot keys whose
 	// stores salt across several instances); KeysSplit / KeysUnsplit
-	// count activations and cooldowns over the run. All zero unless
-	// Migration.SplitThreshold is set.
-	SplitKeys   int64 `json:"split_keys,omitempty"`
-	KeysSplit   int64 `json:"keys_split,omitempty"`
-	KeysUnsplit int64 `json:"keys_unsplit,omitempty"`
+	// count activations and cooldowns over the run. ResidualKeys gauges
+	// cooled keys whose drain round is still open (salted shares not yet
+	// expired everywhere); KeysRetired counts keys whose drain completed —
+	// routing unfroze and the key left the split table entirely. All zero
+	// unless Migration.SplitThreshold is set.
+	SplitKeys    int64 `json:"split_keys,omitempty"`
+	KeysSplit    int64 `json:"keys_split,omitempty"`
+	KeysUnsplit  int64 `json:"keys_unsplit,omitempty"`
+	ResidualKeys int64 `json:"residual_keys,omitempty"`
+	KeysRetired  int64 `json:"keys_retired,omitempty"`
 	// Heap/GC gauges (biclique.SystemMetrics.RuntimeSample): live heap at
 	// the snapshot, cumulative allocation, and GC work since the system's
 	// metrics were created. The arena store exists to push AllocBytes and
@@ -377,7 +382,7 @@ func (st Stats) String() string {
 		s += fmt.Sprintf(" aborts=%d", st.MigrationAborts)
 	}
 	if st.KeysSplit > 0 {
-		s += fmt.Sprintf(" splits=%d (active=%d)", st.KeysSplit, st.SplitKeys)
+		s += fmt.Sprintf(" splits=%d (active=%d residual=%d retired=%d)", st.KeysSplit, st.SplitKeys, st.ResidualKeys, st.KeysRetired)
 	}
 	return s
 }
@@ -404,6 +409,8 @@ func (s *System) Stats() Stats {
 		SplitKeys:       m.SplitKeys.Value(),
 		KeysSplit:       m.KeysSplit.Value(),
 		KeysUnsplit:     m.KeysUnsplit.Value(),
+		ResidualKeys:    m.ResidualKeys.Value(),
+		KeysRetired:     m.KeysRetired.Value(),
 		HeapAllocBytes:  rt.HeapAllocBytes,
 		AllocBytes:      rt.AllocBytes,
 		GCCycles:        rt.GCCycles,

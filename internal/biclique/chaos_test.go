@@ -300,8 +300,10 @@ func TestChaosClassify(t *testing.T) {
 		// intent/ack legs are retried, so profiles may attack them.
 		{SplitMark{}, chaos.ClassData},
 		{UnsplitMark{}, chaos.ClassData},
+		{SplitRetire{}, chaos.ClassData},
 		{SplitIntent{}, chaos.ClassCommand},
 		{SplitAck{}, chaos.ClassReport},
+		{SplitDrained{}, chaos.ClassReport},
 		{stream.Tuple{}, chaos.ClassOther},
 		{stream.JoinedPair{}, chaos.ClassOther},
 		{nil, chaos.ClassOther},

@@ -33,13 +33,16 @@ func ChaosClassify(value any) chaos.Class {
 		// would race the pool's reuse of the buffer. ClassData keeps every
 		// profile's hands off.
 		return chaos.ClassData
-	case SplitMark, UnsplitMark:
+	case SplitMark, UnsplitMark, SplitRetire:
 		// Split state fences. A mark rides the data lane behind a lane
 		// flush and ahead of the first salted tuple; losing one would leave
 		// a member un-tainted (free to migrate salted tuples out from under
 		// the probe fan-out) or salting stores toward an instance whose
-		// probes no longer cover it. Like the tuple traffic they fence,
-		// marks are not retransmitted — so no profile may touch them.
+		// probes no longer cover it. SplitRetire is fenced the same way:
+		// losing one would leave a member tainted (and re-announcing
+		// SplitDrained) forever after the dispatcher already unfroze the
+		// key. Like the tuple traffic they fence, marks are not
+		// retransmitted — so no profile may touch them.
 		return chaos.ClassData
 	case Marker:
 		if v.Revert {
@@ -59,6 +62,11 @@ func ChaosClassify(value any) chaos.Class {
 	case SplitAck:
 		// The handshake's reply leg: droppable; the owner re-acks the next
 		// re-sent intent idempotently.
+		return chaos.ClassReport
+	case SplitDrained:
+		// The drain report leg: droppable; a drained member re-announces
+		// every stats tick until the retire (or a reheat) lands, and the
+		// dispatcher dedups by (side, instance, generation).
 		return chaos.ClassReport
 	case MigrateBatch, MigrateFlush, MigrateAbort, MigrateReturn:
 		return chaos.ClassMigData

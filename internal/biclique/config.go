@@ -373,6 +373,8 @@ const (
 	streamCmdS     = "cmdS"     // monitorS -> joinerS (direct ctrl)
 	streamMigR     = "migR"     // joinerR -> joinerR (direct ctrl)
 	streamMigS     = "migS"     // joinerS -> joinerS (direct ctrl)
+	streamSplitR   = "splitR"   // dispatcher -> joinerR (direct ctrl): split intents
+	streamSplitS   = "splitS"   // dispatcher -> joinerS (direct ctrl): split intents
 	streamRouteUpd = "routeupd" // joiners -> all dispatchers (ctrl)
 	streamDoneR    = "migdoneR" // joinerR -> monitorR (ctrl)
 	streamDoneS    = "migdoneS" // joinerS -> monitorS (ctrl)
@@ -400,6 +402,19 @@ func cmdStream(side stream.Side) string {
 		return streamCmdR
 	}
 	return streamCmdS
+}
+
+// splitStream returns the dispatcher->joiner split-intent stream for a
+// side. Intents ride a control lane, not the data lane: an intent has no
+// ordering role (only the fenced SplitMark starts multi-copy routing),
+// and a control lane lets a backlogged owner ack while the key is still
+// hot — on a data lane the ack could trail the entire backlog and arrive
+// after the detector has already abandoned the pending.
+func splitStream(side stream.Side) string {
+	if side == stream.R {
+		return streamSplitR
+	}
+	return streamSplitS
 }
 
 // migStream returns the joiner->joiner migration stream for a side.

@@ -227,6 +227,8 @@ func (b *dispatcherBolt) Execute(m engine.Message, out *engine.Collector) {
 		}
 	case SplitAck:
 		b.handleSplitAck(v, out)
+	case SplitDrained:
+		b.handleSplitDrained(v, out)
 	default:
 		if m.Stream == engine.TickStream {
 			// Linger expired: ship whatever the lanes hold.

@@ -1,6 +1,7 @@
 package biclique
 
 import (
+	"slices"
 	"sort"
 	"time"
 
@@ -96,12 +97,22 @@ type joinerBolt struct {
 	// has acked a SplitIntent for or received a SplitMark for; tainted
 	// keys are excluded from keyStats and can therefore never be selected
 	// for migration — the invariant that keeps a split key's salted
-	// shares pinned in place. Taints last for the system's lifetime (the
-	// unsplit drain contract: members keep their shares after a cool-
-	// down). splitActive tracks only the currently split-marked keys, for
-	// the load reports.
+	// shares pinned in place. A taint lasts until the key's SplitRetire
+	// arrives (the drain handshake proved no stray share remains), or for
+	// the system's lifetime if the key never retires. splitActive tracks
+	// only the currently split-marked keys, for the load reports.
 	splitTaint  map[stream.Key]bool
 	splitActive map[stream.Key]bool
+	// splitResidual tracks the keys whose UnsplitMark named this instance
+	// a draining member: the store watch is armed (or the share was
+	// already gone) and once drained the instance re-announces
+	// SplitDrained every stats tick until the dispatcher's SplitRetire —
+	// or a reheat's SplitMark — closes the round. Reports are droppable,
+	// so the re-announce is the protocol's loss recovery.
+	splitResidual map[stream.Key]*residualDrain
+	// drainScratch is the reusable buffer for TakeDrained and the sorted
+	// re-announce loop.
+	drainScratch []stream.Key
 
 	// Migration target state, per source instance: keys whose batch
 	// arrived but whose flush (or abort return) is still pending, plus
@@ -117,6 +128,14 @@ type joinerBolt struct {
 	// the wall-clock origin they are measured against.
 	ops      float64
 	opsSince time.Time
+}
+
+// residualDrain is one residual key's drain state at a member: the
+// generation of the UnsplitMark that opened the round, and whether the
+// member's salted share has expired (making it eligible to report).
+type residualDrain struct {
+	gen     uint64
+	drained bool
 }
 
 // inboundMig tracks one in-flight inbound migration at its target.
@@ -143,6 +162,7 @@ func (b *joinerBolt) Prepare(ctx engine.Context, _ *engine.Collector) {
 	b.probeMerge = make(map[stream.Key]int64)
 	b.splitTaint = make(map[stream.Key]bool)
 	b.splitActive = make(map[stream.Key]bool)
+	b.splitResidual = make(map[stream.Key]*residualDrain)
 	pred := b.cfg.Predicate
 	b.probeFn = func(stored stream.Tuple) {
 		b.probeScanned++
@@ -232,11 +252,11 @@ func (b *joinerBolt) Execute(m engine.Message, out *engine.Collector) {
 	case SplitIntent:
 		b.handleSplitIntent(v, out)
 	case SplitMark:
-		b.taintSplit(v.Key, true)
+		b.handleSplitMark(v)
 	case UnsplitMark:
-		// The active mark lifts; the taint stays — this instance may hold
-		// salted tuples of the key forever (unsplit drain contract).
-		delete(b.splitActive, v.Key)
+		b.handleUnsplitMark(v)
+	case SplitRetire:
+		b.handleSplitRetire(v)
 	default:
 		if m.Stream == engine.TickStream {
 			b.onTick(out)
@@ -447,6 +467,61 @@ func (b *joinerBolt) taintSplit(k stream.Key, active bool) {
 	if active {
 		b.splitActive[k] = true
 	}
+}
+
+// handleSplitMark applies a split activation. A mark arriving while this
+// instance is mid-drain is a reheat: the key's salted shares are live
+// again, so the drain round is cancelled before re-tainting — any gen-N
+// SplitDrained this instance already sent is rejected by the
+// dispatcher's generation check.
+func (b *joinerBolt) handleSplitMark(v SplitMark) {
+	if _, ok := b.splitResidual[v.Key]; ok {
+		delete(b.splitResidual, v.Key)
+		b.store.UnwatchKey(v.Key)
+	}
+	b.taintSplit(v.Key, true)
+}
+
+// handleUnsplitMark applies a split deactivation and opens the drain
+// round. The mark is fenced (flush-then-mark at the dispatcher), so no
+// salted tuple of the key can arrive here behind it: this instance's
+// share of the key can only shrink from now on, which makes "the share
+// expired from the window" a monotone, safely reportable condition.
+func (b *joinerBolt) handleUnsplitMark(v UnsplitMark) {
+	delete(b.splitActive, v.Key)
+	if b.ctx.Task == v.Owner {
+		// The owner keeps serving the key's single-owner traffic; only the
+		// non-owner members form the drain quorum.
+		return
+	}
+	rd := b.splitResidual[v.Key]
+	if rd == nil {
+		rd = &residualDrain{}
+		b.splitResidual[v.Key] = rd
+	}
+	rd.gen = v.Gen
+	// Arm the store watch; a share that already expired (or never
+	// existed — the member may have seen only probe traffic) is drained
+	// immediately and reported on the next tick.
+	rd.drained = b.store.WatchKey(v.Key)
+}
+
+// handleSplitRetire closes the key's split lifecycle at this instance.
+// The mark is fenced behind the dispatcher's lanes and arrives only
+// after every non-owner member of both sides reported its share gone,
+// so lifting the taint is sound: no stray salted share exists anywhere
+// for a later migration to strand. Residual probe stats are dropped
+// too — what accumulated during the drain round was fan-out traffic
+// that stops with the retire, and letting it feed key selection would
+// nominate this instance for a probe-benefit migration of a key it no
+// longer sees.
+func (b *joinerBolt) handleSplitRetire(v SplitRetire) {
+	delete(b.splitTaint, v.Key)
+	delete(b.splitActive, v.Key)
+	delete(b.splitResidual, v.Key)
+	b.store.UnwatchKey(v.Key)
+	delete(b.probeCur, v.Key)
+	delete(b.probePrev, v.Key)
 }
 
 // startMigration is the source-side entry of Algorithm 2.
@@ -931,6 +1006,7 @@ func (b *joinerBolt) onTick(out *engine.Collector) {
 			b.storedGauge().Add(int64(-removed))
 		}
 	}
+	b.drainResiduals(out)
 	// φ = arrivals this interval plus the unprocessed backlog, smoothed so
 	// a single quiet interval under bursty dispatch does not read as zero
 	// load. Round up: any positive pressure counts as at least one.
@@ -954,6 +1030,37 @@ func (b *joinerBolt) onTick(out *engine.Collector) {
 	// every tick and their buckets are reusable as-is.
 	b.probePrev, b.probeCur = b.probeCur, b.probePrev
 	clear(b.probeCur)
+}
+
+// drainResiduals advances the open drain rounds on a stats tick: the
+// keys whose store watch fired since the last tick (the window Advance
+// just above is what fires them) flip to drained, then every drained
+// residual key is re-announced to the dispatchers — in sorted key order,
+// so the control-message sequence is identical across replays. The
+// re-announce runs every tick until the dispatcher's SplitRetire (or a
+// reheat's SplitMark) removes the entry: SplitDrained is a droppable
+// report, and the repetition is its loss recovery.
+func (b *joinerBolt) drainResiduals(out *engine.Collector) {
+	if len(b.splitResidual) == 0 {
+		return
+	}
+	b.drainScratch = b.store.TakeDrained(b.drainScratch[:0])
+	for _, k := range b.drainScratch {
+		if rd, ok := b.splitResidual[k]; ok {
+			rd.drained = true
+		}
+	}
+	keys := b.drainScratch[:0]
+	for k, rd := range b.splitResidual {
+		if rd.drained {
+			keys = append(keys, k)
+		}
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		out.Emit(streamRouteUpd, SplitDrained{Side: b.side, Key: k, Gen: b.splitResidual[k].gen, From: b.ctx.Task})
+	}
+	b.drainScratch = keys
 }
 
 // keyStats assembles the per-key statistics for key selection: stored

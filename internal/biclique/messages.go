@@ -279,12 +279,61 @@ type SplitMark struct {
 // UnsplitMark deactivates split routing for a cooled key: store salting
 // stops (stores return to the owner) but the mark does NOT lift the
 // migration taint — salted tuples already stored at the members stay
-// where they are and keep being covered by residual probe fan-out (the
-// unsplit drain contract; see DESIGN.md "Hot-key splitting").
+// where they are and keep being covered by residual probe fan-out until
+// the drain/retire protocol proves the shares are gone (see DESIGN.md
+// "Hot-key splitting: drain and retire"). At a non-owner member the mark
+// also opens the drain phase: the member arms a window-store emptiness
+// watch on the key and reports SplitDrained once its last salted share
+// expires. Fenced like SplitMark (flush-then-mark), so on every lane the
+// mark rides behind the final salted store — member emptiness is
+// monotone from the moment the mark lands.
 type UnsplitMark struct {
 	Side  stream.Side
 	Key   stream.Key
 	Epoch uint64
+	// Gen numbers the key's residual round: it increments on every
+	// deactivation, and SplitDrained reports echo it so a report from
+	// before a reheat can never satisfy the retire condition of a later
+	// cool-down.
+	Gen uint64
+	// Owner is the key's store owner on Side at deactivation time. The
+	// owner keeps its pre-split share and never drains; a receiving
+	// member compares its task id to decide whether to arm the watch.
+	Owner int
+}
+
+// SplitDrained is a member's report that its last salted share of a
+// residual key has expired from the window store: the instance holds no
+// stored tuple of the key anymore and will receive no new store copies
+// (salting stopped at the UnsplitMark fence). It broadcasts on the
+// routing-update lane — like SplitAck, every dispatcher task sees it and
+// only the task owning the key's traffic has a matching entry. Droppable:
+// the member re-announces every stats tick until the SplitRetire (or a
+// reheat's SplitMark) arrives.
+type SplitDrained struct {
+	Side stream.Side
+	Key  stream.Key
+	// Gen echoes the UnsplitMark generation the drain answers.
+	Gen  uint64
+	From int // reporting join instance
+}
+
+// SplitRetire ends a split key's lifecycle: every non-owner member of
+// both sides reported SplitDrained for the current generation while the
+// key stayed cold, so no instance other than the owners holds (or can
+// ever again receive) a tuple of the key. The dispatcher deletes the
+// split entry — restoring single-owner routing and stopping probe
+// fan-out — and the mark tells owner and members to lift the migration
+// taint: safe exactly because the drain handshake proved no stray share
+// exists for a future migration to strand. Fenced like the other split
+// marks (flush-then-mark on the data lanes), so it arrives behind the
+// last fanned-out probe of every lane; members also drop the key's
+// residual probe statistics, which accumulated from fan-out the owner's
+// post-retire routing will no longer send them.
+type SplitRetire struct {
+	Side stream.Side
+	Key  stream.Key
+	Gen  uint64
 }
 
 // MigrationDone tells the monitor the migration finished, re-arming its

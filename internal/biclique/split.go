@@ -1,7 +1,10 @@
 package biclique
 
 import (
+	"slices"
+
 	"fastjoin/internal/engine"
+	"fastjoin/internal/obs"
 	"fastjoin/internal/routing"
 	"fastjoin/internal/sketch"
 	"fastjoin/internal/stream"
@@ -22,7 +25,7 @@ var splitSides = [2]stream.Side{stream.R, stream.S}
 // driven by observation counts, never wall clock, so a seeded run replays
 // the same splits under the chaos harness.
 //
-// A key moves through three states:
+// A key moves through a five-state lifecycle:
 //
 //	pending  — the sketch crossed the threshold; SplitIntents are re-sent
 //	           to both side groups' current owners every detector epoch
@@ -37,14 +40,20 @@ var splitSides = [2]stream.Side{stream.R, stream.S}
 //	           fan out to owner plus members.
 //	residual — the key cooled below half the threshold: stores return to
 //	           the owner, but the members keep their salted shares, keep
-//	           receiving probes, and stay tainted (the unsplit drain
-//	           contract). A residual key that reheats re-activates
-//	           without a new handshake.
+//	           receiving probes, and stay tainted. A residual key that
+//	           reheats re-activates without a new handshake.
+//	draining — a residual member whose last salted share expired from its
+//	           window store reports SplitDrained; the entry accumulates
+//	           the reports of the current generation.
+//	retired  — every non-owner member of both sides drained while the key
+//	           stayed cold: a fenced SplitRetire lifts the members' taints
+//	           and the entry is deleted — single-owner routing returns,
+//	           probe fan-out stops, and the key is free to migrate again.
 //
 // Active and residual keys are also frozen in the routing table: the
 // dispatcher drops them from any RouteUpdate, because moving a key whose
 // tuples are spread over several instances would strand the shares the
-// update's source never knew about.
+// update's source never knew about. Retirement is what unfreezes them.
 type splitTable struct {
 	sk        *sketch.SpaceSaving
 	threshold float64
@@ -56,15 +65,26 @@ type splitTable struct {
 	pending map[stream.Key]*pendingSplit
 	entries map[stream.Key]*splitEntry
 
+	// spanSeq numbers this task's split-lifecycle trace spans; each
+	// pending promotion opens a fresh span.
+	spanSeq uint64
+
 	// frozenScratch backs the RouteUpdate key filtering; routed updates
 	// are broadcast values shared across dispatcher tasks and must not be
 	// mutated in place.
 	frozenScratch []stream.Key
+	// keyScratch backs evalSplit's sorted iteration over the pending and
+	// entries maps: control messages must leave in a deterministic order
+	// so seeded chaos runs replay byte-identically with ≥2 hot keys.
+	keyScratch []stream.Key
 }
 
 // pendingSplit tracks one key's intent/ack handshake.
 type pendingSplit struct {
 	acked [2]bool
+	// span is the key's split-lifecycle trace span, opened at promotion
+	// and inherited by the splitEntry on activation.
+	span obs.SpanID
 }
 
 // splitEntry is one split key's routing state.
@@ -76,6 +96,17 @@ type splitEntry struct {
 	members [2][]int
 	// rr is the per-side round-robin cursor for store salting.
 	rr [2]uint32
+	// gen numbers the key's residual rounds: it increments on every
+	// deactivation and is echoed by the members' SplitDrained reports, so
+	// a report from before a reheat can never count toward a later
+	// round's retire condition.
+	gen uint64
+	// drained collects, per side, the non-owner members whose salted
+	// share of the current generation has expired. Cleared on every
+	// deactivation (a new round) and on reactivation.
+	drained [2]map[int]bool
+	// span is the key's split-lifecycle trace span (see pendingSplit).
+	span obs.SpanID
 }
 
 func newSplitTable(cfg *Config) *splitTable {
@@ -153,14 +184,27 @@ func (b *dispatcherBolt) evalSplit(out *engine.Collector) {
 			return
 		}
 		if sp.pending[k] == nil {
-			sp.pending[k] = new(pendingSplit)
+			sp.spanSeq++
+			p := &pendingSplit{span: obs.NewSplitSpanID(b.ctx.Task, sp.spanSeq)}
+			sp.pending[k] = p
+			b.traceSplit(p.span, obs.Event{Kind: obs.KindSplitPending, Key: uint64(k)})
 		}
 	})
-	for k, p := range sp.pending {
+	// Both maps are walked in sorted key order: the SplitIntent and
+	// UnsplitMark emissions below must leave in a deterministic order for
+	// seeded chaos replay (map range order varies run to run).
+	keys := sp.keyScratch[:0]
+	for k := range sp.pending {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		p := sp.pending[k]
 		if c, err, ok := sp.sk.Estimate(k); !ok || c-err < th {
 			// Cooled off before the handshake completed: abandon it. Any
 			// ack already collected left a harmless taint at that owner.
 			delete(sp.pending, k)
+			b.traceSplit(p.span, obs.Event{Kind: obs.KindSplitAbandon, Key: uint64(k)})
 			continue
 		}
 		for _, side := range splitSides {
@@ -168,22 +212,39 @@ func (b *dispatcherBolt) evalSplit(out *engine.Collector) {
 				continue
 			}
 			// Re-sent every epoch until acked: intents and acks ride
-			// droppable lanes, and an owner that is mid-migration stays
-			// silent until its attempt finishes.
-			out.EmitDirect(tupleStream(side), b.router.StoreTarget(side, k),
+			// droppable control lanes (preempting any data backlog at the
+			// owner — see splitStream), and an owner that is mid-migration
+			// stays silent until its attempt finishes.
+			out.EmitDirect(splitStream(side), b.router.StoreTarget(side, k),
 				SplitIntent{Side: side, Key: k, Epoch: sp.epoch})
 		}
 	}
-	for k, e := range sp.entries {
+	// Half-threshold hysteresis so a key hovering at the boundary does
+	// not flap between salted and plain routing. Clamped to >= 1: with
+	// th == 1 integer division makes th/2 == 0, and since a tracked key's
+	// count is always >= 1 the test `c < 0` could never fire — a dead
+	// zone where an active key under a tiny total deactivates only if it
+	// decays out of the sketch entirely, never by cooling below its
+	// share.
+	half := th / 2
+	if half < 1 {
+		half = 1
+	}
+	keys = keys[:0]
+	for k := range sp.entries {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		e := sp.entries[k]
 		if !e.active {
 			continue
 		}
-		if c, _, ok := sp.sk.Estimate(k); !ok || c < th/2 {
-			// Half-threshold hysteresis so a key hovering at the boundary
-			// does not flap between salted and plain routing.
+		if c, _, ok := sp.sk.Estimate(k); !ok || c < half {
 			b.deactivateSplit(k, e, out)
 		}
 	}
+	sp.keyScratch = keys
 }
 
 // handleSplitAck records one owner's permission. When both side groups'
@@ -206,9 +267,20 @@ func (b *dispatcherBolt) handleSplitAck(v SplitAck, out *engine.Collector) {
 		return
 	}
 	delete(sp.pending, v.Key)
-	e := new(splitEntry)
+	e := &splitEntry{span: p.span}
 	sp.entries[v.Key] = e
 	b.activateSplit(v.Key, e, out)
+}
+
+// traceSplit emits one split-lifecycle event on the key's span. All split
+// events originate at the dispatcher task owning the key's traffic; the
+// tracer's Emit is nil-safe.
+func (b *dispatcherBolt) traceSplit(span obs.SpanID, ev obs.Event) {
+	ev.Span = span
+	ev.Instance = b.ctx.Task
+	ev.Dispatcher = b.ctx.Task
+	ev.Epoch = span.Epoch()
+	b.cfg.Tracer.Emit(ev)
 }
 
 // activateSplit switches one key to salted routing. The fencing order is
@@ -219,6 +291,13 @@ func (b *dispatcherBolt) handleSplitAck(v SplitAck, out *engine.Collector) {
 // tuple of the key before it is marked (and therefore tainted).
 func (b *dispatcherBolt) activateSplit(k stream.Key, e *splitEntry, out *engine.Collector) {
 	sp := b.split
+	if e.gen > 0 {
+		// A residual key reheating: it leaves the drain phase (any reports
+		// collected so far are void — the members are about to receive new
+		// salted shares) and the residual gauge gives it back.
+		e.drained = [2]map[int]bool{}
+		b.met.ResidualKeys.Add(-1)
+	}
 	e.active = true
 	b.flushAll(out)
 	for _, side := range splitSides {
@@ -238,22 +317,28 @@ func (b *dispatcherBolt) activateSplit(k stream.Key, e *splitEntry, out *engine.
 	}
 	b.met.KeysSplit.Inc()
 	b.met.SplitKeys.Add(1)
+	b.traceSplit(e.span, obs.Event{Kind: obs.KindSplitActivate, Key: uint64(k)})
 }
 
 // deactivateSplit cools one key down to residual state: stores return to
 // the owner, probes keep covering the members (their salted shares stay
-// put — the unsplit drain contract), and the entry is retained so the
-// routing freeze and a cheap re-activation survive.
+// put until they drain), and the entry is retained so the routing freeze
+// and a cheap re-activation survive. The mark opens drain round e.gen at
+// every non-owner member; the members' SplitDrained reports feed
+// handleSplitDrained until the round retires or a reheat voids it.
 func (b *dispatcherBolt) deactivateSplit(k stream.Key, e *splitEntry, out *engine.Collector) {
 	sp := b.split
 	e.active = false
+	e.gen++
+	e.drained = [2]map[int]bool{}
 	// Flush so the mark rides behind the last salted store of each lane;
 	// the joiners' active-count bookkeeping then never runs ahead of the
-	// tuples it describes.
+	// tuples it describes — and member emptiness is monotone from the
+	// moment the mark lands, the monotonicity the drain proof rests on.
 	b.flushAll(out)
 	for _, side := range splitSides {
-		mark := UnsplitMark{Side: side, Key: k, Epoch: sp.epoch}
 		owner := b.router.StoreTarget(side, k)
+		mark := UnsplitMark{Side: side, Key: k, Epoch: sp.epoch, Gen: e.gen, Owner: owner}
 		out.EmitDirect(tupleStream(side), owner, mark)
 		for _, m := range e.members[side] {
 			if m != owner {
@@ -263,6 +348,96 @@ func (b *dispatcherBolt) deactivateSplit(k stream.Key, e *splitEntry, out *engin
 	}
 	b.met.KeysUnsplit.Inc()
 	b.met.SplitKeys.Add(-1)
+	b.met.ResidualKeys.Add(1)
+	b.traceSplit(e.span, obs.Event{Kind: obs.KindSplitResidual, Key: uint64(k)})
+	// Degenerate member sets (every member is the owner on both sides —
+	// e.g. Ways clamped to 1 instance per side) have nobody to drain:
+	// retire immediately.
+	b.maybeRetireSplit(k, e, out)
+}
+
+// handleSplitDrained records one member's report that its salted share of
+// a residual key expired. Reports broadcast to every dispatcher task;
+// only the task owning the key's traffic holds the entry, and only
+// reports matching the current residual generation from genuine
+// non-owner members count.
+func (b *dispatcherBolt) handleSplitDrained(v SplitDrained, out *engine.Collector) {
+	sp := b.split
+	if sp == nil {
+		return
+	}
+	e, ok := sp.entries[v.Key]
+	if !ok || e.active || v.Gen != e.gen {
+		// Retired already, reheated, or a stale report from a voided round.
+		return
+	}
+	owner := b.router.StoreTarget(v.Side, v.Key)
+	if v.From == owner || !slices.Contains(e.members[v.Side], v.From) {
+		return // the owner never drains; non-members have nothing to drain
+	}
+	if e.drained[v.Side][v.From] {
+		return // duplicate (re-announced or chaos-duplicated) report
+	}
+	if e.drained[v.Side] == nil {
+		e.drained[v.Side] = make(map[int]bool)
+	}
+	e.drained[v.Side][v.From] = true
+	b.traceSplit(e.span, obs.Event{
+		Kind:   obs.KindSplitDrained,
+		Key:    uint64(v.Key),
+		Side:   uint8(v.Side),
+		Target: v.From,
+	})
+	b.maybeRetireSplit(v.Key, e, out)
+}
+
+// maybeRetireSplit retires the key once every non-owner member of both
+// sides has drained the current generation (and the key is still cold —
+// a reheat voids the round before it can complete).
+func (b *dispatcherBolt) maybeRetireSplit(k stream.Key, e *splitEntry, out *engine.Collector) {
+	if e.active {
+		return
+	}
+	for _, side := range splitSides {
+		owner := b.router.StoreTarget(side, k)
+		for _, m := range e.members[side] {
+			if m != owner && !e.drained[side][m] {
+				return
+			}
+		}
+	}
+	b.retireSplit(k, e, out)
+}
+
+// retireSplit completes the lifecycle: the drain handshake proved that no
+// instance beyond the two owners holds a stored tuple of the key (salting
+// stopped at the UnsplitMark fence, the shares since expired, and the
+// dispatcher is the key's only router), so the fenced SplitRetire can
+// lift the members' taints without stranding anything. Deleting the entry
+// restores single-owner routing, stops the probe fan-out, and unfreezes
+// the key for future RouteUpdates — a retired key migrates like any cold
+// key.
+func (b *dispatcherBolt) retireSplit(k stream.Key, e *splitEntry, out *engine.Collector) {
+	sp := b.split
+	// Flush-then-mark, the same lane-fencing argument as activation: the
+	// retire rides behind the last fanned-out probe of every lane, so a
+	// member lifts its taint only after all traffic that could still
+	// reference its (now empty) share has passed.
+	b.flushAll(out)
+	for _, side := range splitSides {
+		mark := SplitRetire{Side: side, Key: k, Gen: e.gen}
+		owner := b.router.StoreTarget(side, k)
+		out.EmitDirect(tupleStream(side), owner, mark)
+		for _, m := range e.members[side] {
+			if m != owner {
+				out.EmitDirect(tupleStream(side), m, mark)
+			}
+		}
+	}
+	delete(sp.entries, k)
+	b.met.KeysRetired.Inc()
+	b.met.ResidualKeys.Add(-1)
+	b.traceSplit(e.span, obs.Event{Kind: obs.KindSplitRetire, Key: uint64(k)})
 }
 
 // filterFrozenKeys drops split keys from a RouteUpdate's key list. A
@@ -274,6 +449,10 @@ func (b *dispatcherBolt) deactivateSplit(k stream.Key, e *splitEntry, out *engin
 // dispatcher refuses just those keys and applies the rest of the update
 // unchanged. The update's marker handshake is untouched: markers answer
 // the update, not the key set.
+//
+// The returned slice may alias frozenScratch, which the next filtered
+// update overwrites — callers hand it straight to Router.ApplyUpdate,
+// whose contract forbids retaining the key slice.
 func (b *dispatcherBolt) filterFrozenKeys(keys []stream.Key) []stream.Key {
 	sp := b.split
 	if sp == nil || len(sp.entries) == 0 {

@@ -100,9 +100,9 @@ func TestSplitTaintExcludesKeyStats(t *testing.T) {
 }
 
 // TestUnsplitKeepsTaint: UnsplitMark ends the active split (load reports
-// stop counting it) but the taint persists — the unsplit drain contract
-// leaves salted shares on the members, so the key must stay immovable
-// for the rest of the system's life.
+// stop counting it) but the taint persists — the member may still hold a
+// salted share, so the key stays immovable until the drain handshake
+// completes and the SplitRetire lifts the taint.
 func TestUnsplitKeepsTaint(t *testing.T) {
 	b := newTestJoiner(t, Config{})
 	out := engine.NullCollector()
@@ -112,12 +112,15 @@ func TestUnsplitKeepsTaint(t *testing.T) {
 	if !b.splitTaint[k] || !b.splitActive[k] {
 		t.Fatalf("after SplitMark: taint=%v active=%v, want both", b.splitTaint[k], b.splitActive[k])
 	}
-	b.Execute(engine.Message{Stream: tupleStream(stream.R), Value: UnsplitMark{Side: stream.R, Key: k, Epoch: 2}}, out)
+	b.Execute(engine.Message{Stream: tupleStream(stream.R), Value: UnsplitMark{Side: stream.R, Key: k, Epoch: 2, Gen: 1, Owner: 1}}, out)
 	if b.splitActive[k] {
 		t.Fatal("after UnsplitMark the key must not count as actively split")
 	}
 	if !b.splitTaint[k] {
-		t.Fatal("UnsplitMark must not clear the taint: the members still hold salted shares")
+		t.Fatal("UnsplitMark must not clear the taint: this member may still hold a salted share")
+	}
+	if rd := b.splitResidual[k]; rd == nil || rd.gen != 1 {
+		t.Fatalf("UnsplitMark at a non-owner member must open drain round 1, got %+v", rd)
 	}
 }
 

@@ -59,8 +59,21 @@ type SystemMetrics struct {
 	// because they were split: once a key's split activates, its routing
 	// entry is frozen — salted shares must never move between instances —
 	// so any late selection of the key (e.g. from an old owner's stale
-	// probe statistics) is refused rather than applied.
+	// probe statistics) is refused rather than applied. The freeze lifts
+	// when the key retires.
 	SplitFrozenKeys metrics.Counter
+	// ResidualKeys gauges the cooled split keys whose drain round is still
+	// open: an UnsplitMark went out but not every non-owner member has
+	// reported its salted share expired. A reheat (re-activation) or the
+	// retire both close the round. Bounded-memory checks poll it: a churn
+	// workload that heats and cools keys must drive it back to zero once
+	// the window passes.
+	ResidualKeys metrics.Gauge
+	// KeysRetired counts completed split lifecycles: the drain handshake
+	// finished, the fenced SplitRetire went out, the dispatcher deleted
+	// the split entry, and the key returned to single-owner routing with
+	// its freeze and member taints lifted.
+	KeysRetired metrics.Counter
 
 	// gcBase is the runtime memory state captured at NewSystemMetrics;
 	// RuntimeSample reports GC activity as deltas against it so the numbers

@@ -70,12 +70,14 @@ func Start(cfg Config) (*System, error) {
 
 	b.AddBolt(CompJoinerR, newJoinerFactory(&cfg, stream.R, met), cfg.JoinersPerSide).
 		Direct(CompDispatcher, streamToR).
+		DirectCtrl(CompDispatcher, streamSplitR).
 		DirectCtrl(CompMonitorR, streamCmdR).
 		DirectCtrl(CompJoinerR, streamMigR).
 		TickEvery(cfg.StatsInterval)
 
 	b.AddBolt(CompJoinerS, newJoinerFactory(&cfg, stream.S, met), cfg.JoinersPerSide).
 		Direct(CompDispatcher, streamToS).
+		DirectCtrl(CompDispatcher, streamSplitS).
 		DirectCtrl(CompMonitorS, streamCmdS).
 		DirectCtrl(CompJoinerS, streamMigS).
 		TickEvery(cfg.StatsInterval)

@@ -85,26 +85,59 @@ const (
 	// lane, so a span is complete without it.
 	KindDone
 
+	// The split-lifecycle kinds below open a second span family: one span
+	// per split key's lifetime at its owning dispatcher task (pending →
+	// active → residual → … → abandoned or retired), identified by
+	// NewSplitSpanID. They never mix with migration spans.
+
+	// KindSplitPending opens a split span: the detector promoted a heavy
+	// hitter and the intent/ack handshake started. Carries the key.
+	KindSplitPending
+	// KindSplitActivate records the key switching to salted routing —
+	// after the first handshake or again on a residual reheat, so it can
+	// repeat within the span.
+	KindSplitActivate
+	// KindSplitResidual records a cool-down: salting stops, members keep
+	// their shares, the drain phase begins. Repeats when a reheated key
+	// cools again (each round bumps the residual generation).
+	KindSplitResidual
+	// KindSplitDrained records one member's first drain report of the
+	// current generation (Target is the reporting instance).
+	KindSplitDrained
+	// KindSplitAbandon terminates a span whose key cooled off before the
+	// intent/ack handshake completed: no salted routing ever started.
+	KindSplitAbandon
+	// KindSplitRetire terminates a retired span: every non-owner member
+	// of both sides drained, the entry is deleted, routing unfreezes and
+	// the taint lifts.
+	KindSplitRetire
+
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	KindNone:         "none",
-	KindTrigger:      "trigger",
-	KindSelect:       "select",
-	KindNoop:         "noop",
-	KindFence:        "fence",
-	KindRouteApplied: "route-applied",
-	KindMarker:       "marker",
-	KindInstall:      "install",
-	KindFlush:        "flush",
-	KindReplay:       "replay",
-	KindCommit:       "commit",
-	KindAbort:        "abort",
-	KindRevertMarker: "revert-marker",
-	KindReturn:       "return",
-	KindRollback:     "rollback",
-	KindDone:         "done",
+	KindNone:          "none",
+	KindTrigger:       "trigger",
+	KindSelect:        "select",
+	KindNoop:          "noop",
+	KindFence:         "fence",
+	KindRouteApplied:  "route-applied",
+	KindMarker:        "marker",
+	KindInstall:       "install",
+	KindFlush:         "flush",
+	KindReplay:        "replay",
+	KindCommit:        "commit",
+	KindAbort:         "abort",
+	KindRevertMarker:  "revert-marker",
+	KindReturn:        "return",
+	KindRollback:      "rollback",
+	KindDone:          "done",
+	KindSplitPending:  "split-pending",
+	KindSplitActivate: "split-activate",
+	KindSplitResidual: "split-residual",
+	KindSplitDrained:  "split-drained",
+	KindSplitAbandon:  "split-abandon",
+	KindSplitRetire:   "split-retire",
 }
 
 // String names the kind as DESIGN.md's taxonomy does.
@@ -173,6 +206,16 @@ var spanRules = [numKinds]KindRule{
 	KindReturn:       {Requires: []Kind{KindAbort}},
 	KindRollback:     {Requires: []Kind{KindReturn}, Terminal: true},
 	KindDone:         {Trailing: true},
+	// Split lifecycle. Activate repeats on reheats (no Forbids), residual
+	// requires a preceding activation, and a retire requires residual —
+	// but NOT a drained event: a split whose member sets hold no
+	// non-owner instance retires the moment it cools, with zero reports.
+	KindSplitPending:  {Forbids: []Kind{KindSplitPending}},
+	KindSplitActivate: {Requires: []Kind{KindSplitPending}},
+	KindSplitResidual: {Requires: []Kind{KindSplitActivate}},
+	KindSplitDrained:  {Requires: []Kind{KindSplitResidual}},
+	KindSplitAbandon:  {Requires: []Kind{KindSplitPending}, Forbids: []Kind{KindSplitActivate}, Terminal: true},
+	KindSplitRetire:   {Requires: []Kind{KindSplitResidual}, Terminal: true},
 }
 
 // Rule returns the lifecycle rule for k (the zero rule for out-of-range
@@ -204,8 +247,30 @@ func (id SpanID) Source() int { return int(id >> 48 & 0x7fff) }
 // Epoch returns the source's attempt epoch.
 func (id SpanID) Epoch() uint64 { return uint64(id) & 0xffffffffffff }
 
-// String renders "side/source/epoch".
+// splitSpanBit marks a split-lifecycle span inside the SpanID's 15-bit
+// source field, keeping the two span families disjoint: a dispatcher
+// task index can never reach 0x4000, so no split span collides with a
+// migration span.
+const splitSpanBit = 0x4000
+
+// NewSplitSpanID packs the identity of one split key's lifecycle span:
+// the owning dispatcher task (tagged with splitSpanBit in the source
+// field) and the task's split span sequence number. Side is 0 — a split
+// spans both side groups.
+func NewSplitSpanID(task int, seq uint64) SpanID {
+	return NewSpanID(0, splitSpanBit|(task&0x3fff), seq)
+}
+
+// SplitSpan reports whether the span belongs to the split-lifecycle
+// family.
+func (id SpanID) SplitSpan() bool { return id.Source()&splitSpanBit != 0 }
+
+// String renders "side/source/epoch" for migration spans and
+// "split/task/seq" for split-lifecycle spans.
 func (id SpanID) String() string {
+	if id.SplitSpan() {
+		return fmt.Sprintf("split/%d/%d", id.Source()&^splitSpanBit, id.Epoch())
+	}
 	side := "R"
 	if id.Side() == 1 {
 		side = "S"
@@ -243,6 +308,9 @@ type Event struct {
 	// installed, flushed, replayed, returned…).
 	Keys  int `json:"keys,omitempty"`
 	Moved int `json:"moved,omitempty"`
+	// Key is the subject key of a split-lifecycle event (migration events
+	// carry key counts, never individual keys).
+	Key uint64 `json:"key,omitempty"`
 	// Benefit is the selection's total migration benefit ΣF_k.
 	Benefit int64 `json:"benefit,omitempty"`
 	// LI is the imbalance that triggered the span; Theta the configured Θ.
@@ -411,18 +479,29 @@ func (s Span) Terminal() Kind {
 //     the marker handshake, so its events can trail the source's commit)
 //     and KindDone may trail the terminal event.
 //
+// Split-lifecycle spans (NewSplitSpanID) validate against the same table
+// with their own opening rule: the first event must be KindSplitPending,
+// and the rules chain pending → activate → residual → drained/retire (or
+// abandon) from there.
+//
 // The ring can evict a span's oldest events under an event storm; callers
 // that need full validation should size the tracer generously. Err reports
-// a truncated span (first event not KindTrigger) as a violation.
+// a truncated span (first event not the family's opener) as a violation.
 func (s Span) Err() error {
 	if len(s.Events) == 0 {
 		return fmt.Errorf("span %v: empty", s.ID)
 	}
-	if s.Events[0].Kind != KindTrigger {
-		return fmt.Errorf("span %v: opens with %v, want trigger", s.ID, s.Events[0].Kind)
-	}
-	if len(s.Events) < 2 || s.Events[1].Kind != KindSelect {
-		return fmt.Errorf("span %v: trigger not followed by select", s.ID)
+	if s.ID.SplitSpan() {
+		if s.Events[0].Kind != KindSplitPending {
+			return fmt.Errorf("span %v: opens with %v, want split-pending", s.ID, s.Events[0].Kind)
+		}
+	} else {
+		if s.Events[0].Kind != KindTrigger {
+			return fmt.Errorf("span %v: opens with %v, want trigger", s.ID, s.Events[0].Kind)
+		}
+		if len(s.Events) < 2 || s.Events[1].Kind != KindSelect {
+			return fmt.Errorf("span %v: trigger not followed by select", s.ID)
+		}
 	}
 	var (
 		terminal Kind

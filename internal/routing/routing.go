@@ -24,6 +24,11 @@ type Router interface {
 	ProbeTargets(side stream.Side, key stream.Key, buf []int) []int
 	// ApplyUpdate records a key ownership change for one side. Only the
 	// hash router honors it; static strategies ignore updates.
+	//
+	// Implementations must not retain keys: callers may pass a scratch
+	// slice that the next ApplyUpdate overwrites (the dispatcher's frozen-
+	// key filter does exactly that). Copy what outlives the call — the
+	// hash router copies each key into its route map.
 	ApplyUpdate(side stream.Side, keys []stream.Key, newOwner int)
 }
 

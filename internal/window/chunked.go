@@ -47,6 +47,12 @@ type chunkStore struct {
 
 	expiry  []expiryEntry // min-heap on at
 	visited int
+
+	// Emptiness watches (WatchKey/TakeDrained). Both live on the control
+	// plane: watched is nil until the first WatchKey, and the hot expiry
+	// path pays only a len check while no watches are armed.
+	watched map[stream.Key]struct{}
+	drained []stream.Key
 }
 
 type entry struct {
@@ -200,6 +206,7 @@ func (s *chunkStore) RemoveKey(key stream.Key) []stream.Tuple {
 	}
 	s.total -= len(out)
 	s.delAt(i)
+	s.fireWatch(key)
 	return out
 }
 
@@ -228,6 +235,7 @@ func (s *chunkStore) Advance(now int64) int {
 		s.total -= n
 		if e.head == nil {
 			s.delAt(i)
+			s.fireWatch(he.key)
 		} else {
 			s.pushExpiry(e.head.buf[e.head.start].EventTime, he.key)
 		}
@@ -286,6 +294,41 @@ func (s *chunkStore) AppendKeyCounts(dst []KeyCount) []KeyCount {
 }
 
 func (s *chunkStore) AdvanceVisited() int { return s.visited }
+
+func (s *chunkStore) WatchKey(key stream.Key) bool {
+	if s.lookup(key) == nil {
+		return true
+	}
+	if s.watched == nil {
+		s.watched = make(map[stream.Key]struct{})
+	}
+	s.watched[key] = struct{}{}
+	return false
+}
+
+func (s *chunkStore) UnwatchKey(key stream.Key) {
+	delete(s.watched, key)
+}
+
+func (s *chunkStore) TakeDrained(dst []stream.Key) []stream.Key {
+	dst = append(dst, s.drained...)
+	s.drained = s.drained[:0]
+	return dst
+}
+
+// fireWatch queues key for TakeDrained if a watch is armed for it. Called
+// from the two sites that drop a key's last tuple (Advance's full expiry
+// and RemoveKey); the leading len check keeps the cost of the unwatched
+// common case to one branch, so the hot expiry loop stays unaffected.
+func (s *chunkStore) fireWatch(key stream.Key) {
+	if len(s.watched) == 0 {
+		return
+	}
+	if _, ok := s.watched[key]; ok {
+		delete(s.watched, key)
+		s.drained = append(s.drained, key)
+	}
+}
 
 // --- index ---
 

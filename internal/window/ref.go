@@ -26,6 +26,10 @@ type refStore struct {
 	minHeadOK bool
 
 	visited int
+
+	// Emptiness watches (WatchKey/TakeDrained), mirroring chunkStore's.
+	watched map[stream.Key]struct{}
+	drained []stream.Key
 }
 
 func (s *refStore) Windowed() bool { return s.span > 0 }
@@ -93,6 +97,7 @@ func (s *refStore) RemoveKey(key stream.Key) []stream.Tuple {
 	}
 	delete(s.perKey, key)
 	s.total -= len(tuples)
+	s.fireWatch(key)
 	return tuples
 }
 
@@ -120,6 +125,7 @@ func (s *refStore) Advance(now int64) int {
 			removed += i
 			if i == len(tuples) {
 				delete(s.perKey, key)
+				s.fireWatch(key)
 				continue
 			}
 			s.perKey[key] = tuples[i:]
@@ -155,3 +161,36 @@ func (s *refStore) AppendKeyCounts(dst []KeyCount) []KeyCount {
 }
 
 func (s *refStore) AdvanceVisited() int { return s.visited }
+
+func (s *refStore) WatchKey(key stream.Key) bool {
+	if len(s.perKey[key]) == 0 {
+		return true
+	}
+	if s.watched == nil {
+		s.watched = make(map[stream.Key]struct{})
+	}
+	s.watched[key] = struct{}{}
+	return false
+}
+
+func (s *refStore) UnwatchKey(key stream.Key) {
+	delete(s.watched, key)
+}
+
+func (s *refStore) TakeDrained(dst []stream.Key) []stream.Key {
+	dst = append(dst, s.drained...)
+	s.drained = s.drained[:0]
+	return dst
+}
+
+// fireWatch queues key for TakeDrained if a watch is armed for it; see
+// chunkStore.fireWatch.
+func (s *refStore) fireWatch(key stream.Key) {
+	if len(s.watched) == 0 {
+		return
+	}
+	if _, ok := s.watched[key]; ok {
+		delete(s.watched, key)
+		s.drained = append(s.drained, key)
+	}
+}

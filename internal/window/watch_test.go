@@ -1,0 +1,114 @@
+package window
+
+import (
+	"slices"
+	"testing"
+
+	"fastjoin/internal/stream"
+)
+
+// watchImpls runs a subtest against both store layouts: the emptiness
+// watch is part of the Store contract, so the chunked store and the
+// reference baseline must agree on every behavior.
+func watchImpls(t *testing.T, f func(t *testing.T, mk func() Store)) {
+	t.Run("chunked", func(t *testing.T) { f(t, func() Store { return NewWindowed(100, 4) }) })
+	t.Run("ref", func(t *testing.T) { f(t, func() Store { return NewRefWindowed(100, 4) }) })
+}
+
+func takeAll(s Store) []stream.Key {
+	got := s.TakeDrained(nil)
+	slices.Sort(got)
+	return got
+}
+
+func TestWatchKeyAbsentImmediate(t *testing.T) {
+	watchImpls(t, func(t *testing.T, mk func() Store) {
+		s := mk()
+		if !s.WatchKey(7) {
+			t.Fatal("WatchKey on an absent key must report already-drained")
+		}
+		// Nothing was armed: a later appearance and expiry of the key must
+		// not produce a notification.
+		s.Add(tup(7, 0, 10))
+		s.Advance(1000)
+		if got := takeAll(s); len(got) != 0 {
+			t.Fatalf("no watch was armed, but TakeDrained = %v", got)
+		}
+	})
+}
+
+func TestWatchKeyFiresOnExpiry(t *testing.T) {
+	watchImpls(t, func(t *testing.T, mk func() Store) {
+		s := mk()
+		s.Add(tup(7, 0, 10))
+		s.Add(tup(7, 1, 20))
+		s.Add(tup(9, 2, 500))
+		if s.WatchKey(7) {
+			t.Fatal("WatchKey on a present key must arm, not report drained")
+		}
+		// First tuple expires, one remains: no notification yet.
+		s.Advance(119)
+		if got := takeAll(s); len(got) != 0 {
+			t.Fatalf("key still has a tuple, but TakeDrained = %v", got)
+		}
+		// Last tuple of key 7 expires; key 9 remains and is unwatched.
+		s.Advance(200)
+		if got := takeAll(s); !slices.Equal(got, []stream.Key{7}) {
+			t.Fatalf("TakeDrained = %v, want [7]", got)
+		}
+		// The queue cleared and the watch disarmed: re-adding and expiring
+		// again fires nothing.
+		if got := takeAll(s); len(got) != 0 {
+			t.Fatalf("second TakeDrained = %v, want empty", got)
+		}
+		s.Add(tup(7, 3, 300))
+		s.Advance(1000)
+		if got := takeAll(s); len(got) != 0 {
+			t.Fatalf("watch should be one-shot, but TakeDrained = %v", got)
+		}
+	})
+}
+
+func TestWatchKeyFiresOnRemoveKey(t *testing.T) {
+	watchImpls(t, func(t *testing.T, mk func() Store) {
+		s := mk()
+		s.Add(tup(3, 0, 10))
+		s.WatchKey(3)
+		s.RemoveKey(3)
+		if got := takeAll(s); !slices.Equal(got, []stream.Key{3}) {
+			t.Fatalf("TakeDrained after RemoveKey = %v, want [3]", got)
+		}
+	})
+}
+
+func TestUnwatchKeyCancels(t *testing.T) {
+	watchImpls(t, func(t *testing.T, mk func() Store) {
+		s := mk()
+		s.Add(tup(5, 0, 10))
+		s.WatchKey(5)
+		s.UnwatchKey(5)
+		s.Advance(1000)
+		if got := takeAll(s); len(got) != 0 {
+			t.Fatalf("TakeDrained after UnwatchKey = %v, want empty", got)
+		}
+		// Unwatching an absent or never-watched key is a no-op.
+		s.UnwatchKey(5)
+		s.UnwatchKey(42)
+	})
+}
+
+func TestTakeDrainedAppends(t *testing.T) {
+	watchImpls(t, func(t *testing.T, mk func() Store) {
+		s := mk()
+		s.Add(tup(1, 0, 10))
+		s.Add(tup(2, 1, 10))
+		s.WatchKey(1)
+		s.WatchKey(2)
+		s.Advance(1000)
+		got := s.TakeDrained([]stream.Key{99})
+		slices.Sort(got)
+		if !slices.Equal(got, []stream.Key{1, 2, 99}) {
+			t.Fatalf("TakeDrained must append to dst: got %v", got)
+		}
+	})
+}

@@ -89,6 +89,27 @@ type Store interface {
 	// examined over the store's lifetime. Regression tests use it to pin
 	// the O(expired) early-exit behaviour.
 	AdvanceVisited() int
+	// WatchKey arms an emptiness watch on key: when the store later drops
+	// the key's last stored tuple (window expiry via Advance, or an
+	// explicit RemoveKey), the key is queued for TakeDrained. If the key
+	// is ALREADY absent, WatchKey returns true and arms nothing — the
+	// caller observes emptiness synchronously and must not wait for a
+	// queue entry. Re-arming an armed watch is idempotent. The split
+	// drain protocol is the intended consumer: a joiner watches each
+	// residual salted key and reports SplitDrained when the share
+	// expires.
+	WatchKey(key stream.Key) bool
+	// UnwatchKey disarms a watch armed by WatchKey (no-op when absent).
+	// A key already queued for TakeDrained stays queued; consumers that
+	// unwatch must tolerate a late drain notification.
+	UnwatchKey(key stream.Key)
+	// TakeDrained appends every watched key whose last tuple has been
+	// dropped since the previous call to dst, clears the internal queue,
+	// and returns the extended slice. Each drained key fires once (its
+	// watch disarms when it queues). Order is unspecified — it differs
+	// between implementations, so consumers needing determinism must
+	// sort.
+	TakeDrained(dst []stream.Key) []stream.Key
 }
 
 // New returns an unbounded (full-history) chunked arena store.

@@ -39,6 +39,15 @@ const (
 	TraceReturn       = obs.KindReturn
 	TraceRollback     = obs.KindRollback
 	TraceDone         = obs.KindDone
+	// Split-lifecycle kinds: one span per split key lifetime at its owning
+	// dispatcher task (pending → activate → residual → drained* → retire,
+	// or abandon when the key cools before every owner acks).
+	TraceSplitPending  = obs.KindSplitPending
+	TraceSplitActivate = obs.KindSplitActivate
+	TraceSplitResidual = obs.KindSplitResidual
+	TraceSplitDrained  = obs.KindSplitDrained
+	TraceSplitAbandon  = obs.KindSplitAbandon
+	TraceSplitRetire   = obs.KindSplitRetire
 )
 
 // Trace returns a snapshot of the control-plane trace ring, oldest first:
@@ -176,6 +185,10 @@ func (o *obsSource) ObsFamilies() []obs.Family {
 			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(st.KeysUnsplit)}}},
 		obs.Family{Name: "fastjoin_split_frozen_keys_total", Help: "Keys dropped from routing updates because their split routing is frozen.",
 			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(m.SplitFrozenKeys.Value())}}},
+		obs.Family{Name: "fastjoin_split_residual_keys", Help: "Cooled split keys whose salted shares have not yet drained everywhere.",
+			Type: obs.TypeGauge, Samples: []obs.Sample{{Value: float64(st.ResidualKeys)}}},
+		obs.Family{Name: "fastjoin_keys_retired_total", Help: "Split keys fully drained and returned to single-owner routing.",
+			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(st.KeysRetired)}}},
 		obs.Family{Name: "fastjoin_trace_events_total", Help: "Control-plane trace events emitted.",
 			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(s.trace.Emitted())}}},
 		obs.Family{Name: "fastjoin_trace_events_evicted_total", Help: "Trace events evicted by the bounded ring.",

@@ -78,6 +78,9 @@ for family in \
   fastjoin_engine_queue_high_water \
   fastjoin_migrations_total \
   fastjoin_migration_aborts_total \
+  fastjoin_split_keys \
+  fastjoin_split_residual_keys \
+  fastjoin_keys_retired_total \
   fastjoin_trace_events_total; do
   if ! grep -q "^# TYPE $family " <<<"$metrics"; then
     echo "obs smoke FAILED: /metrics missing family $family" >&2
