@@ -510,18 +510,24 @@ func (b *joinerBolt) handleUnsplitMark(v UnsplitMark) {
 // The mark is fenced behind the dispatcher's lanes and arrives only
 // after every non-owner member of both sides reported its share gone,
 // so lifting the taint is sound: no stray salted share exists anywhere
-// for a later migration to strand. Residual probe stats are dropped
-// too — what accumulated during the drain round was fan-out traffic
-// that stops with the retire, and letting it feed key selection would
-// nominate this instance for a probe-benefit migration of a key it no
-// longer sees.
+// for a later migration to strand. A draining member also drops the
+// key's residual probe stats — what accumulated there was fan-out
+// traffic that stops with the retire, and letting it feed key selection
+// would nominate this instance for a probe-benefit migration of a key
+// it no longer sees. The owner (which never holds a splitResidual
+// entry) keeps its counters: it receives the key's full single-owner
+// probe traffic after retirement, and wiping the accumulated stats
+// would skew keyStats and migration-benefit selection for up to two
+// stats ticks.
 func (b *joinerBolt) handleSplitRetire(v SplitRetire) {
 	delete(b.splitTaint, v.Key)
 	delete(b.splitActive, v.Key)
-	delete(b.splitResidual, v.Key)
-	b.store.UnwatchKey(v.Key)
-	delete(b.probeCur, v.Key)
-	delete(b.probePrev, v.Key)
+	if _, member := b.splitResidual[v.Key]; member {
+		delete(b.splitResidual, v.Key)
+		b.store.UnwatchKey(v.Key)
+		delete(b.probeCur, v.Key)
+		delete(b.probePrev, v.Key)
+	}
 }
 
 // startMigration is the source-side entry of Algorithm 2.
@@ -1046,7 +1052,18 @@ func (b *joinerBolt) drainResiduals(out *engine.Collector) {
 	}
 	b.drainScratch = b.store.TakeDrained(b.drainScratch[:0])
 	for _, k := range b.drainScratch {
-		if rd, ok := b.splitResidual[k]; ok {
+		rd, ok := b.splitResidual[k]
+		if !ok || rd.drained {
+			continue
+		}
+		// Re-verify against the store instead of trusting the queue entry:
+		// the watch contract allows a late notification from a watch that
+		// was since unwatched (a round cancelled by a reheat), and such an
+		// entry may surface after a NEW round re-armed on live shares. The
+		// reportable condition is emptiness — monotone once the round's
+		// UnsplitMark fence has passed — not queue membership. A non-empty
+		// key keeps its freshly armed watch and drains when it really does.
+		if b.store.KeyCount(k) == 0 {
 			rd.drained = true
 		}
 	}

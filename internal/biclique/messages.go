@@ -291,10 +291,12 @@ type UnsplitMark struct {
 	Side  stream.Side
 	Key   stream.Key
 	Epoch uint64
-	// Gen numbers the key's residual round: it increments on every
-	// deactivation, and SplitDrained reports echo it so a report from
-	// before a reheat can never satisfy the retire condition of a later
-	// cool-down.
+	// Gen numbers the key's residual round, drawn from a dispatcher-task
+	// counter that is monotone for the task's lifetime (it survives the
+	// key's retirement). SplitDrained reports echo it, so a report from
+	// before a reheat — or from a prior incarnation of the key that
+	// split, retired, and split again — can never satisfy the retire
+	// condition of a later cool-down.
 	Gen uint64
 	// Owner is the key's store owner on Side at deactivation time. The
 	// owner keeps its pre-split share and never drains; a receiving

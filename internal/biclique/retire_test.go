@@ -208,6 +208,55 @@ func TestSplitReheatVoidsDrainRound(t *testing.T) {
 	}
 }
 
+// TestSplitRetireThenResplitStaleDrain pins generation monotonicity
+// across incarnations of the same key: after a key splits, drains, and
+// retires, a LATER incarnation (a fresh entry from a new handshake) must
+// draw residual generations the first incarnation never used. SplitDrained
+// is ClassReport — chaos profiles delay and duplicate it — so a stale
+// quorum from the first incarnation can arrive mid-drain of the second;
+// if generations restarted at 1 per entry, it would falsely retire the
+// new round while members still hold live salted shares.
+func TestSplitRetireThenResplitStaleDrain(t *testing.T) {
+	b := newRetireTestDispatcher(t, nil)
+	out := engine.NullCollector()
+	const k = stream.Key(9)
+
+	// First incarnation: activate, cool, drain, retire.
+	e1 := activateEntry(t, b, k)
+	b.deactivateSplit(k, e1, out)
+	gen1 := drainReports(b, k)
+	feedDrained(b, gen1...)
+	if b.split.entries[k] != nil {
+		t.Fatal("first incarnation did not retire")
+	}
+
+	// Second incarnation of the same key: a fresh handshake and entry.
+	e2 := activateEntry(t, b, k)
+	b.deactivateSplit(k, e2, out)
+	if e2.gen <= e1.gen {
+		t.Fatalf("generation reused across incarnations: first ended at %d, second opened %d", e1.gen, e2.gen)
+	}
+
+	// The first incarnation's full quorum, chaos-delayed past the retire
+	// and the re-split, lands now. It must not count.
+	feedDrained(b, gen1...)
+	if b.split.entries[k] == nil {
+		t.Fatal("stale prior-incarnation quorum retired the new round")
+	}
+	if n := len(e2.drained[stream.R]) + len(e2.drained[stream.S]); n != 0 {
+		t.Fatalf("stale prior-incarnation reports were recorded: drained = %+v", e2.drained)
+	}
+
+	// The second incarnation's own quorum still works.
+	feedDrained(b, drainReports(b, k)...)
+	if b.split.entries[k] != nil {
+		t.Fatal("current-generation quorum must retire the second incarnation")
+	}
+	if got := b.met.KeysRetired.Value(); got != 2 {
+		t.Fatalf("KeysRetired = %d, want 2", got)
+	}
+}
+
 // TestEvalSplitDeterministicOrder: evalSplit walks the pending and entry
 // maps in sorted key order, so with two or more heavy hitters in flight
 // the control messages (and their trace events) leave in the same order
@@ -433,6 +482,75 @@ func TestJoinerDrainLifecycle(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("retired key missing from keyStats: the migration taint was not lifted")
+	}
+}
+
+// TestJoinerRetireKeepsOwnerProbeStats: the retire drops the residual
+// fan-out probe stats only at the draining members. The owner keeps
+// receiving the key's full probe traffic after retirement, so its
+// accumulated counters must survive — wiping them would skew keyStats
+// and migration-benefit selection for up to two stats ticks.
+func TestJoinerRetireKeepsOwnerProbeStats(t *testing.T) {
+	b := newTestJoiner(t, Config{Window: 50 * time.Millisecond})
+	out := engine.NullCollector()
+	const k = stream.Key(4)
+
+	// Owner path: Owner == this task, so no drain round ever opens here.
+	b.Execute(engine.Message{Stream: tupleStream(stream.R), Value: SplitMark{Side: stream.R, Key: k, Epoch: 1}}, out)
+	b.Execute(engine.Message{Stream: tupleStream(stream.R), Value: UnsplitMark{Side: stream.R, Key: k, Epoch: 2, Gen: 1, Owner: 0}}, out)
+	b.probeCur[k] = 7
+	b.probePrev[k] = 5
+	b.Execute(engine.Message{Stream: tupleStream(stream.R), Value: SplitRetire{Side: stream.R, Key: k, Gen: 1}}, out)
+	if b.splitTaint[k] || b.splitActive[k] {
+		t.Fatalf("retire must lift the owner's taint: taint=%v active=%v", b.splitTaint[k], b.splitActive[k])
+	}
+	if b.probeCur[k] != 7 || b.probePrev[k] != 5 {
+		t.Fatalf("retire wiped the owner's probe stats: cur=%d prev=%d, want 7/5", b.probeCur[k], b.probePrev[k])
+	}
+}
+
+// TestDrainResidualsStaleWatchNotification pins the defense the window
+// store's watch contract demands: a consumer that unwatches must tolerate
+// a late drain notification. A watch fired by an old round can sit in the
+// TakeDrained queue across a reheat; when it surfaces after a NEW round
+// re-armed on live shares, the round must not flip to drained while the
+// store still holds tuples of the key.
+func TestDrainResidualsStaleWatchNotification(t *testing.T) {
+	b := newTestJoiner(t, Config{Window: time.Hour})
+	out := engine.NullCollector()
+	const k = stream.Key(4)
+
+	// Round 1: a live share arms the watch, then the share vanishes — the
+	// watch fires into the store's queue (one-shot, now disarmed).
+	b.store.Add(stream.Tuple{Side: stream.R, Key: k, Seq: 0, EventTime: stream.Now()})
+	b.Execute(engine.Message{Stream: tupleStream(stream.R), Value: UnsplitMark{Side: stream.R, Key: k, Epoch: 2, Gen: 1, Owner: 1}}, out)
+	b.store.RemoveKey(k)
+
+	// Reheat before any tick consumed the queue: the round is cancelled
+	// (UnwatchKey leaves the queued notification in place, per contract)
+	// and a fresh salted share lands.
+	b.Execute(engine.Message{Stream: tupleStream(stream.R), Value: SplitMark{Side: stream.R, Key: k, Epoch: 3}}, out)
+	b.store.Add(stream.Tuple{Side: stream.R, Key: k, Seq: 1, EventTime: stream.Now()})
+
+	// Round 2 arms on the live share.
+	b.Execute(engine.Message{Stream: tupleStream(stream.R), Value: UnsplitMark{Side: stream.R, Key: k, Epoch: 4, Gen: 2, Owner: 1}}, out)
+	rd := b.splitResidual[k]
+	if rd == nil || rd.drained {
+		t.Fatalf("round 2 must arm undrained on a live share, got %+v", rd)
+	}
+
+	// The tick surfaces round 1's stale notification; the share is live,
+	// so the round must stay undrained.
+	b.onTick(out)
+	if rd.drained {
+		t.Fatal("stale queue entry from the cancelled round marked live shares drained")
+	}
+
+	// When the share really goes, round 2's own watch fires and drains.
+	b.store.RemoveKey(k)
+	b.onTick(out)
+	if !rd.drained {
+		t.Fatal("genuine emptiness did not drain round 2")
 	}
 }
 

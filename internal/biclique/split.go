@@ -68,6 +68,15 @@ type splitTable struct {
 	// spanSeq numbers this task's split-lifecycle trace spans; each
 	// pending promotion opens a fresh span.
 	spanSeq uint64
+	// genSeq issues residual-round generations (splitEntry.gen). It is
+	// task-global and never resets: entries come and go — retirement
+	// deletes them and a later re-split creates a fresh one — but a
+	// generation number is never reused, so a chaos-delayed SplitDrained
+	// from ANY earlier round, including a prior incarnation of the same
+	// key, can never match a later round's gen. A per-entry counter
+	// would restart at 1 for each incarnation and let exactly that
+	// stale report count.
+	genSeq uint64
 
 	// frozenScratch backs the RouteUpdate key filtering; routed updates
 	// are broadcast values shared across dispatcher tasks and must not be
@@ -96,10 +105,12 @@ type splitEntry struct {
 	members [2][]int
 	// rr is the per-side round-robin cursor for store salting.
 	rr [2]uint32
-	// gen numbers the key's residual rounds: it increments on every
-	// deactivation and is echoed by the members' SplitDrained reports, so
-	// a report from before a reheat can never count toward a later
-	// round's retire condition.
+	// gen numbers the key's residual rounds: every deactivation draws a
+	// fresh value from the task-monotone genSeq, and the members'
+	// SplitDrained reports echo it — so a report from before a reheat,
+	// or from a prior incarnation of the key that already retired, can
+	// never count toward a later round's retire condition. Zero means
+	// the entry has never deactivated.
 	gen uint64
 	// drained collects, per side, the non-owner members whose salted
 	// share of the current generation has expired. Cleared on every
@@ -329,7 +340,8 @@ func (b *dispatcherBolt) activateSplit(k stream.Key, e *splitEntry, out *engine.
 func (b *dispatcherBolt) deactivateSplit(k stream.Key, e *splitEntry, out *engine.Collector) {
 	sp := b.split
 	e.active = false
-	e.gen++
+	sp.genSeq++
+	e.gen = sp.genSeq
 	e.drained = [2]map[int]bool{}
 	// Flush so the mark rides behind the last salted store of each lane;
 	// the joiners' active-count bookkeeping then never runs ahead of the
